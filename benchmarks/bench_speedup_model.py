@@ -1,0 +1,30 @@
+"""Benchmark: the Sec. 3.4 speedup model (Eqs. 11-12) vs measurement.
+
+Sweeps the node count on pg1t and records predicted-vs-measured Spdp4
+into ``results/speedup_model.txt``.  The model and the measurement must
+agree on the *trend*: more nodes → fewer per-node LTS → higher speedup,
+saturating at the snapshot-evaluation floor.
+"""
+
+from repro.experiments.speedup_model import run_speedup_model
+
+
+def test_speedup_model_sweep(benchmark, record_table):
+    def run():
+        return run_speedup_model(case="pg1t", node_counts=[1, 5, 25, 100])
+
+    table, samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("speedup_model", table)
+
+    assert [s.n_nodes for s in samples] == [1, 5, 25, 100]
+    # Per-node LTS count must shrink as nodes grow.
+    ks = [s.k_max for s in samples]
+    assert ks[0] > ks[-1]
+    # Measured speedup improves with decomposition.
+    assert samples[-1].measured_spdp4 > samples[0].measured_spdp4
+    # The Eq. 12 prediction lands within a small factor of measurement
+    # at the natural decomposition (constants are microbenchmarked, so
+    # agreement is approximate).
+    final = samples[-1]
+    ratio = final.predicted_spdp4 / final.measured_spdp4
+    assert 0.2 < ratio < 5.0

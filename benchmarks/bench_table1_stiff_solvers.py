@@ -1,0 +1,56 @@
+"""Benchmark: paper Table 1 — MEXP vs I-MATEX vs R-MATEX on stiff meshes.
+
+Regenerates the full table (written to ``results/table1.txt``) and
+benchmarks each method's transient loop at the medium stiffness level so
+the timing relationships (R-MATEX fastest, MEXP slowest by a widening
+factor) are tracked by pytest-benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import assemble
+from repro.core import MatexSolver, SolverOptions, build_schedule
+from repro.experiments.table1 import run_table1
+from repro.pdn import stiff_rc_mesh
+
+T_END, H = 3e-10, 5e-12
+GRID = [i * H for i in range(61)]
+
+
+@pytest.fixture(scope="module")
+def medium_mesh():
+    net = stiff_rc_mesh(16, 16, fast_ratio=30.0, slow_ratio=1e6, n_sources=5)
+    return assemble(net)
+
+
+@pytest.mark.parametrize("method", ["standard", "inverted", "rational"])
+def test_method_transient_loop(benchmark, medium_mesh, method):
+    """Per-method transient wall time at fixed stiffness (Table 1 core)."""
+    opts = SolverOptions(method=method, gamma=H, eps_rel=0.0,
+                         eps_abs=1e-10, m_max=300)
+    solver = MatexSolver(medium_mesh, opts)
+    schedule = build_schedule(medium_mesh, T_END, global_points=GRID)
+    x0 = np.zeros(medium_mesh.dim)
+
+    result = benchmark(lambda: solver.simulate(T_END, x0=x0, schedule=schedule))
+    assert result.stats.n_steps == 60
+
+
+def test_generate_full_table1(benchmark, record_table):
+    """One-shot regeneration of the whole Table 1 (3 stiffness levels)."""
+    def run():
+        table, rows = run_table1(rows=16, cols=16, m_max=300)
+        return table, rows
+
+    table, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("table1", table)
+
+    by = {(r.level, r.method): r for r in rows}
+    # Paper shape assertions: MEXP basis grows with stiffness and always
+    # dwarfs the spectral-transform bases; speedups exceed 1.
+    assert by[("high", "standard")].ma > by[("low", "standard")].ma
+    for level in ("low", "medium", "high"):
+        assert by[(level, "standard")].ma > 2 * by[(level, "rational")].ma
+        assert by[(level, "inverted")].speedup_vs_mexp > 1.0
+        assert by[(level, "rational")].speedup_vs_mexp > 1.0

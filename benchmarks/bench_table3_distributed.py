@@ -1,0 +1,54 @@
+"""Benchmark: paper Table 3 — distributed MATEX vs fixed-step TR (10ps).
+
+The headline experiment.  Benchmarks the TR baseline's 1000-step loop
+and the distributed MATEX run on two cases, then regenerates the Table 3
+rows (all six suite cases take minutes; the recorded table uses pg1t and
+pg4t by default — run ``python -m repro.experiments.runner table3`` for
+the full six).
+"""
+
+from repro.baselines import simulate_trapezoidal
+from repro.core import SolverOptions
+from repro.dist import MatexScheduler
+from repro.experiments.table3 import run_table3
+
+OPTS = SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-6)
+
+
+def test_tr_baseline_1000_steps(benchmark, pg1t):
+    system, case = pg1t
+
+    def run():
+        return simulate_trapezoidal(system, case.h_tr, case.t_end,
+                                    record_times=[case.t_end])
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.n_steps == 1000
+
+
+def test_distributed_matex(benchmark, pg1t):
+    system, case = pg1t
+    scheduler = MatexScheduler(system, OPTS, decomposition="bump")
+
+    def run():
+        return scheduler.run(case.t_end)
+
+    dres = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert dres.n_nodes == 100
+
+
+def test_generate_table3(benchmark, record_table):
+    def run():
+        return run_table3(cases=["pg1t", "pg4t"], golden_h=1e-12)
+
+    table, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("table3", table)
+    for row in rows:
+        # Paper shape: around an order of magnitude on the transient
+        # part, smaller on the total, errors at the 1e-4 V scale.
+        assert row.spdp4 > 3.0
+        assert row.spdp5 > 1.0
+        assert row.max_err < 1e-3
+    pg4t_row = next(r for r in rows if r.case == "pg4t")
+    pg1t_row = next(r for r in rows if r.case == "pg1t")
+    assert pg4t_row.spdp4 > pg1t_row.spdp4  # few-GTS case wins biggest

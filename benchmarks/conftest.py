@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures and result recording.
+
+Every benchmark regenerates (part of) a paper table or figure; besides
+the pytest-benchmark timings, the rendered paper-style tables are written
+to ``benchmarks/results/*.txt`` so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Write a rendered table to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, table) -> None:
+        text = table.render() if hasattr(table, "render") else str(table)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def pg1t():
+    from repro.pdn import build_case
+
+    return build_case("pg1t")
+
+
+@pytest.fixture(scope="session")
+def pg4t():
+    from repro.pdn import build_case
+
+    return build_case("pg4t")

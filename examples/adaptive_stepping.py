@@ -1,0 +1,69 @@
+"""Adaptive stepping without re-factorisation (paper Sec. 2.4 / Table 2).
+
+Run:  python examples/adaptive_stepping.py
+
+Contrasts the two adaptive strategies on one grid:
+
+* MATEX marches transition-spot to transition-spot with *one* LU,
+  regenerating a small Krylov basis only where the inputs change slope
+  and reusing it everywhere else;
+* the traditional adaptive trapezoidal method must re-factorise
+  ``C/h + G/2`` every time its LTE controller changes the step size.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import error_metrics
+from repro.baselines import simulate_adaptive_trapezoidal, simulate_trapezoidal
+from repro.circuit import assemble
+from repro.core import MatexSolver, SolverOptions
+from repro.pdn import PdnConfig, WorkloadSpec, attach_pulse_loads, generate_power_grid
+
+
+def main() -> None:
+    t_end = 1e-8
+    net = generate_power_grid(PdnConfig(rows=20, cols=20, n_pads=4, seed=3))
+    attach_pulse_loads(net, WorkloadSpec(
+        n_sources=150, n_shapes=20, t_end=t_end, time_grid_points=60, seed=3,
+    ))
+    system = assemble(net)
+    print(f"circuit: {net.summary()}")
+
+    golden = simulate_trapezoidal(system, 1e-12, t_end,
+                                  record_times=list(np.linspace(0, t_end, 101)))
+
+    t0 = time.perf_counter()
+    matex = MatexSolver(
+        system, SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-6)
+    ).simulate(t_end)
+    t_matex = time.perf_counter() - t0
+    st = matex.stats
+    print(f"\nMATEX (R-MATEX):")
+    print(f"  factorisations : 1 (C + gamma*G) + 1 (G, for DC/ETD)")
+    print(f"  Krylov bases   : {st.n_krylov_bases} "
+          f"(avg dim {st.avg_krylov_dim:.1f}, peak {st.peak_krylov_dim})")
+    print(f"  basis reuses   : {st.n_reuses}")
+    print(f"  wall time      : {t_matex:.2f} s")
+    err = error_metrics(matex, golden, times=golden.times)
+    print(f"  max error      : {err['max']:.2e} V")
+
+    t0 = time.perf_counter()
+    adaptive = simulate_adaptive_trapezoidal(system, t_end, tol=1e-6)
+    t_tr = time.perf_counter() - t0
+    st = adaptive.stats
+    print(f"\nAdaptive trapezoidal (LTE-controlled):")
+    print(f"  factorisations : {st.n_krylov_bases} "
+          f"(one per distinct step size)")
+    print(f"  accepted steps : {st.n_steps}")
+    print(f"  wall time      : {t_tr:.2f} s")
+    err = error_metrics(adaptive, golden, times=golden.times)
+    print(f"  max error      : {err['max']:.2e} V")
+
+    print(f"\nMATEX marches with ONE factorisation; adaptive TR paid "
+          f"{adaptive.stats.n_krylov_bases} of them.")
+
+
+if __name__ == "__main__":
+    main()

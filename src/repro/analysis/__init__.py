@@ -1,0 +1,23 @@
+"""Analysis: error metrics, droop reports, speedup model, tables."""
+
+from repro.analysis.droop import DroopReport, droop_report, worst_droop
+from repro.analysis.errors import (
+    avg_error,
+    error_metrics,
+    max_error,
+    relative_error_pct,
+)
+from repro.analysis.speedup import SpeedupModel
+from repro.analysis.tables import Table
+
+__all__ = [
+    "DroopReport",
+    "SpeedupModel",
+    "Table",
+    "avg_error",
+    "droop_report",
+    "error_metrics",
+    "max_error",
+    "relative_error_pct",
+    "worst_droop",
+]

@@ -1,0 +1,63 @@
+"""Minimal fixed-width table rendering for experiment output.
+
+The experiment drivers print rows shaped like the paper's tables; this
+keeps the formatting in one place (and out of the science code).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Accumulate rows, render a fixed-width ASCII table.
+
+    >>> t = Table(["a", "b"], title="demo")
+    >>> t.add_row([1, 2.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0.0:
+                return "0"
+            if abs(cell) >= 1e4 or abs(cell) < 1e-3:
+                return f"{cell:.3g}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def add_row(self, cells: Sequence) -> None:
+        """Append one row (cells are formatted on render)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    def render(self) -> str:
+        """The formatted table as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

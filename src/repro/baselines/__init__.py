@@ -1,0 +1,18 @@
+"""Traditional integrators MATEX is compared against."""
+
+from repro.baselines.adaptive_tr import simulate_adaptive_trapezoidal
+from repro.baselines.backward_euler import simulate_backward_euler
+from repro.baselines.fixed_step import dc_operating_point
+from repro.baselines.forward_euler import simulate_forward_euler
+from repro.baselines.reference import reference_backward_euler, reference_exact
+from repro.baselines.trapezoidal import simulate_trapezoidal
+
+__all__ = [
+    "dc_operating_point",
+    "reference_backward_euler",
+    "reference_exact",
+    "simulate_adaptive_trapezoidal",
+    "simulate_backward_euler",
+    "simulate_forward_euler",
+    "simulate_trapezoidal",
+]

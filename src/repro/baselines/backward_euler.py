@@ -1,0 +1,49 @@
+"""Fixed-step backward Euler.
+
+First-order A-stable (indeed L-stable) companion baseline::
+
+    (C/h + G) x(t+h) = (C/h) x(t) + B u(t+h)
+
+Its strong damping makes it the paper's accuracy *reference* when run at
+a tiny step (Table 1 uses BE at 0.05ps); see
+:mod:`repro.baselines.reference`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.fixed_step import run_fixed_step
+from repro.circuit.mna import MNASystem
+from repro.core.results import TransientResult
+
+__all__ = ["simulate_backward_euler"]
+
+
+def simulate_backward_euler(
+    system: MNASystem,
+    h: float,
+    t_end: float,
+    x0: np.ndarray | None = None,
+    record_times: Sequence[float] | None = None,
+) -> TransientResult:
+    """Simulate with fixed-step BE; see module docstring.
+
+    Parameters mirror
+    :func:`repro.baselines.trapezoidal.simulate_trapezoidal`.
+    """
+    if h <= 0.0:
+        raise ValueError(f"step size must be positive, got {h!r}")
+    lhs = (system.C / h + system.G).tocsc()
+    rhs_matrix = (system.C / h).tocsr()
+
+    def rhs(x: np.ndarray, bu0: np.ndarray, bu1: np.ndarray) -> np.ndarray:
+        return rhs_matrix @ x + bu1
+
+    return run_fixed_step(
+        system, h, t_end,
+        lhs=lhs, rhs_fn=rhs,
+        method="be-fixed", x0=x0, record_times=record_times,
+    )

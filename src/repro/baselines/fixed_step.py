@@ -1,0 +1,127 @@
+"""Shared machinery for the fixed-step implicit baselines (TR / BE).
+
+Both methods factor one shifted matrix at the start and then march with a
+single forward/backward substitution pair per step — the strategy of the
+TAU power-grid-contest solvers that the paper benchmarks against
+(Sec. 2.1): ``N`` uniform steps cost ``N`` substitution pairs after one
+LU (paper Eq. 12's ``N·Tbs + Tserial``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuit.mna import MNASystem
+from repro.core.results import TransientResult
+from repro.core.stats import SolverStats
+from repro.linalg.lu import SparseLU
+
+__all__ = ["run_fixed_step", "dc_operating_point"]
+
+
+def dc_operating_point(system: MNASystem) -> tuple[np.ndarray, SparseLU]:
+    """DC analysis ``G x = B u(0)``; returns the state and the G-LU."""
+    lu_g = SparseLU(system.G, label="G")
+    return lu_g.solve(system.bu(0.0)), lu_g
+
+
+def _select_record_indices(
+    n_steps: int, record_times: Sequence[float] | None, h: float
+) -> np.ndarray:
+    """Map requested record times to step indices (always 0 and last)."""
+    if record_times is None:
+        return np.arange(n_steps + 1)
+    idx = {0, n_steps}
+    for t in record_times:
+        i = int(round(t / h))
+        if 0 <= i <= n_steps:
+            idx.add(i)
+    return np.array(sorted(idx))
+
+
+def run_fixed_step(
+    system: MNASystem,
+    h: float,
+    t_end: float,
+    lhs: sp.spmatrix,
+    rhs_fn: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    method: str,
+    x0: np.ndarray | None = None,
+    record_times: Sequence[float] | None = None,
+) -> TransientResult:
+    """March a one-LU fixed-step implicit scheme.
+
+    Parameters
+    ----------
+    system:
+        Assembled MNA system.
+    h:
+        Uniform step size (the paper's 10ps for Table 3).
+    t_end:
+        Horizon; the number of steps is ``round(t_end / h)``.
+    lhs:
+        The matrix factored once (e.g. ``C/h + G/2`` for TR).
+    rhs_fn:
+        Builds the step right-hand side from
+        ``(x, bu_this_step, bu_next_step)``.
+    method:
+        Label for the result.
+    x0:
+        Initial state; defaults to the DC operating point.
+    record_times:
+        Times (multiples of ``h``) whose states should be kept.  ``None``
+        keeps every step — fine for small circuits, wasteful for suites.
+
+    Returns
+    -------
+    TransientResult
+        Recorded trajectory with solve counts and timing in ``stats``.
+    """
+    n_steps = int(round(t_end / h))
+    if n_steps < 1:
+        raise ValueError(f"t_end={t_end!r} shorter than one step h={h!r}")
+
+    stats = SolverStats()
+
+    lu = SparseLU(lhs, label=f"{method}-lhs")
+    stats.factor_seconds += lu.factor_seconds
+
+    if x0 is None:
+        t_dc = time.perf_counter()
+        x0, lu_g = dc_operating_point(system)
+        stats.dc_seconds = time.perf_counter() - t_dc
+        stats.factor_seconds += lu_g.factor_seconds
+        stats.n_solves_dc += 1
+    x = np.asarray(x0, dtype=float).copy()
+
+    grid = h * np.arange(n_steps + 1)
+    record_idx = _select_record_indices(n_steps, record_times, h)
+    recorded = np.empty((len(record_idx), system.dim))
+    rec_pos = {int(i): k for k, i in enumerate(record_idx)}
+    if 0 in rec_pos:
+        recorded[rec_pos[0]] = x
+
+    t_loop = time.perf_counter()
+    bu_grid = system.bu_series(grid)
+    for n in range(n_steps):
+        rhs = rhs_fn(x, bu_grid[:, n], bu_grid[:, n + 1])
+        x = lu.solve(rhs)
+        stats.n_steps += 1
+        pos = rec_pos.get(n + 1)
+        if pos is not None:
+            recorded[pos] = x
+    stats.transient_seconds = time.perf_counter() - t_loop
+    stats.n_solves_krylov = 0
+    stats.n_solves_etd = lu.n_solves  # all transient pairs for baselines
+
+    return TransientResult(
+        system=system,
+        times=grid[record_idx],
+        states=recorded,
+        stats=stats,
+        method=method,
+    )

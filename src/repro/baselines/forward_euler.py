@@ -1,0 +1,111 @@
+"""Fixed-step forward (explicit) Euler.
+
+Included to demonstrate *why* implicit methods rule PDN simulation
+(paper Sec. 1): the stability region forces ``h < 2/|λ_max|``, and PDN
+stiffness puts ``|λ_max|`` around 1e15 s⁻¹ — forward Euler either takes
+astronomically many steps or blows up.  The stability test suite checks
+exactly this behaviour.
+
+    x(t+h) = x(t) + h C⁻¹ (−G x(t) + B u(t))
+
+Note forward Euler must factor ``C`` (like MEXP, it fails outright on
+singular ``C``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.fixed_step import dc_operating_point
+from repro.circuit.mna import MNASystem
+from repro.core.results import TransientResult
+from repro.core.stats import SolverStats
+from repro.linalg.lu import FactorizationError, SparseLU
+
+__all__ = ["simulate_forward_euler"]
+
+
+def simulate_forward_euler(
+    system: MNASystem,
+    h: float,
+    t_end: float,
+    x0: np.ndarray | None = None,
+    record_times: Sequence[float] | None = None,
+) -> TransientResult:
+    """Simulate with explicit Euler.
+
+    The trajectory is truncated at the first non-finite state so callers
+    can observe where instability strikes (``result.times[-1] < t_end``).
+
+    Parameters mirror
+    :func:`repro.baselines.trapezoidal.simulate_trapezoidal`.
+
+    Raises
+    ------
+    repro.linalg.lu.FactorizationError
+        If ``C`` is singular (explicit methods need ``C⁻¹``).
+    """
+    if h <= 0.0:
+        raise ValueError(f"step size must be positive, got {h!r}")
+    n_steps = int(round(t_end / h))
+    if n_steps < 1:
+        raise ValueError(f"t_end={t_end!r} shorter than one step h={h!r}")
+
+    stats = SolverStats()
+    try:
+        lu_c = SparseLU(system.C, label="C")
+    except FactorizationError:
+        raise FactorizationError(
+            "forward Euler needs a non-singular C (explicit update is "
+            "x + h·C⁻¹(−Gx + Bu)); this circuit requires an implicit or "
+            "inverted/rational-Krylov method"
+        ) from None
+    stats.factor_seconds += lu_c.factor_seconds
+
+    if x0 is None:
+        t_dc = time.perf_counter()
+        x0, lu_g = dc_operating_point(system)
+        stats.dc_seconds = time.perf_counter() - t_dc
+        stats.factor_seconds += lu_g.factor_seconds
+        stats.n_solves_dc += 1
+    x = np.asarray(x0, dtype=float).copy()
+
+    grid = h * np.arange(n_steps + 1)
+    if record_times is None:
+        keep = set(range(n_steps + 1))
+    else:
+        keep = {0, n_steps} | {
+            int(round(t / h)) for t in record_times
+            if 0 <= int(round(t / h)) <= n_steps
+        }
+
+    times_out: list[float] = []
+    states_out: list[np.ndarray] = []
+    if 0 in keep:
+        times_out.append(0.0)
+        states_out.append(x.copy())
+
+    g = system.G.tocsr()
+    t_loop = time.perf_counter()
+    bu_grid = system.bu_series(grid)
+    for n in range(n_steps):
+        x = x + h * lu_c.solve(bu_grid[:, n] - g @ x)
+        stats.n_steps += 1
+        if not np.all(np.isfinite(x)):
+            break  # explicit instability: stop where divergence strikes
+        if (n + 1) in keep:
+            times_out.append(grid[n + 1])
+            states_out.append(x.copy())
+    stats.transient_seconds = time.perf_counter() - t_loop
+    stats.n_solves_etd = lu_c.n_solves
+
+    return TransientResult(
+        system=system,
+        times=np.asarray(times_out),
+        states=np.asarray(states_out),
+        stats=stats,
+        method="fe-fixed",
+    )

@@ -1,0 +1,50 @@
+"""Circuit substrate: waveforms, elements, netlists, MNA, SPICE I/O."""
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.mna import MNASystem, assemble
+from repro.circuit.netlist import Netlist, NetlistError
+from repro.circuit.parser import ParseError, parse_file, parse_netlist, parse_value
+from repro.circuit.regularize import RegularizedSystem, regularize
+from repro.circuit.waveforms import (
+    DC,
+    PWL,
+    BumpShape,
+    Pulse,
+    Waveform,
+    merge_transition_spots,
+)
+from repro.circuit.writer import format_netlist, write_file
+
+__all__ = [
+    "BumpShape",
+    "Capacitor",
+    "CurrentSource",
+    "DC",
+    "Element",
+    "Inductor",
+    "MNASystem",
+    "Netlist",
+    "NetlistError",
+    "PWL",
+    "ParseError",
+    "Pulse",
+    "RegularizedSystem",
+    "Resistor",
+    "VoltageSource",
+    "Waveform",
+    "assemble",
+    "regularize",
+    "format_netlist",
+    "merge_transition_spots",
+    "parse_file",
+    "parse_netlist",
+    "parse_value",
+    "write_file",
+]

@@ -1,0 +1,135 @@
+"""Circuit element definitions.
+
+A power-distribution network is modelled as a linear circuit containing
+resistors, capacitors, inductors, ideal voltage sources and time-varying
+current sources (paper Sec. 2.1).  Elements are plain frozen dataclasses;
+all topology bookkeeping lives in :mod:`repro.circuit.netlist` and all
+matrix stamping in :mod:`repro.circuit.mna`.
+
+Node names are strings; the reserved name ``"0"`` (alias ``"gnd"``) is the
+ground reference and is never assigned a matrix row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.waveforms import DC, Waveform
+
+__all__ = [
+    "GROUND_NAMES",
+    "Element",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+]
+
+#: Names accepted as the ground node.
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "vss", "VSS"})
+
+
+@dataclass(frozen=True)
+class Element:
+    """Base class for all two-terminal circuit elements.
+
+    Attributes
+    ----------
+    name:
+        Unique element identifier (e.g. ``"R12"``).
+    pos, neg:
+        Terminal node names.  For sources, current flows *from* ``pos``
+        *to* ``neg`` through the element (SPICE convention).
+    """
+
+    name: str
+    pos: str
+    neg: str
+
+    def nodes(self) -> tuple[str, str]:
+        """Return the two terminal node names."""
+        return (self.pos, self.neg)
+
+
+@dataclass(frozen=True)
+class Resistor(Element):
+    """Linear resistor with resistance in ohms."""
+
+    resistance: float = 0.0
+
+    def __post_init__(self):
+        if self.resistance <= 0.0:
+            raise ValueError(
+                f"resistor {self.name!r}: resistance must be positive, "
+                f"got {self.resistance!r}"
+            )
+
+    @property
+    def conductance(self) -> float:
+        """Conductance 1/R in siemens (the quantity stamped into G)."""
+        return 1.0 / self.resistance
+
+
+@dataclass(frozen=True)
+class Capacitor(Element):
+    """Linear capacitor with capacitance in farads."""
+
+    capacitance: float = 0.0
+
+    def __post_init__(self):
+        if self.capacitance <= 0.0:
+            raise ValueError(
+                f"capacitor {self.name!r}: capacitance must be positive, "
+                f"got {self.capacitance!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Inductor(Element):
+    """Linear inductor with inductance in henries.
+
+    MNA introduces one extra unknown (the branch current) per inductor;
+    the inductance is stamped into the ``C`` matrix row of that current.
+    """
+
+    inductance: float = 0.0
+
+    def __post_init__(self):
+        if self.inductance <= 0.0:
+            raise ValueError(
+                f"inductor {self.name!r}: inductance must be positive, "
+                f"got {self.inductance!r}"
+            )
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    """Ideal voltage source ``v(pos) - v(neg) = waveform(t)``.
+
+    PDN supply pads are DC voltage sources; MNA introduces one extra
+    unknown (the source branch current) per voltage source.
+    """
+
+    waveform: Waveform = field(default_factory=DC)
+
+    def is_dc(self) -> bool:
+        """True when the source never changes (the usual PDN pad)."""
+        return self.waveform.is_constant()
+
+
+@dataclass(frozen=True)
+class CurrentSource(Element):
+    """Ideal current source drawing ``waveform(t)`` amps from ``pos`` to ``neg``.
+
+    In PDN analysis these model switching-logic load currents and are
+    "often characterised as pulse inputs" (paper Sec. 2.1).  Each current
+    source is one column of the input-selector matrix ``B`` and one entry
+    of the input vector ``u(t)``.
+    """
+
+    waveform: Waveform = field(default_factory=DC)
+
+    def is_dc(self) -> bool:
+        """True when the load current is constant."""
+        return self.waveform.is_constant()

@@ -1,0 +1,284 @@
+"""Netlist container: the in-memory circuit description.
+
+A :class:`Netlist` collects elements, assigns matrix indices to nodes and
+MNA branch unknowns, and offers the convenience constructors used by the
+generators in :mod:`repro.pdn` and the parser in
+:mod:`repro.circuit.parser`.
+
+Index layout (fixed, relied upon by :mod:`repro.circuit.mna`):
+
+* rows ``0 .. n_nodes-1``     — node voltages (ground excluded),
+* next ``n_vsrc`` rows        — voltage-source branch currents,
+* next ``n_ind`` rows         — inductor branch currents.
+
+Element and node insertion order is deterministic, so two identically
+built netlists produce identical matrices (important for superposition
+tests and the distributed scheduler, which ships netlist copies to nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.circuit.elements import (
+    GROUND_NAMES,
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.waveforms import DC, Waveform
+
+__all__ = ["Netlist", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised for malformed circuit descriptions."""
+
+
+def _is_ground(node: str) -> bool:
+    return node in GROUND_NAMES
+
+
+@dataclass(frozen=True)
+class _Unknowns:
+    """Sizes of the MNA unknown blocks."""
+
+    n_nodes: int
+    n_vsrc: int
+    n_ind: int
+
+    @property
+    def dim(self) -> int:
+        return self.n_nodes + self.n_vsrc + self.n_ind
+
+
+class Netlist:
+    """A linear circuit: elements plus deterministic index assignment.
+
+    Parameters
+    ----------
+    title:
+        Free-form circuit name used in reports and netlist files.
+    """
+
+    def __init__(self, title: str = "circuit"):
+        self.title = title
+        self._elements: dict[str, Element] = {}
+        self._node_index: dict[str, int] = {}
+        self._resistors: list[Resistor] = []
+        self._capacitors: list[Capacitor] = []
+        self._inductors: list[Inductor] = []
+        self._vsources: list[VoltageSource] = []
+        self._isources: list[CurrentSource] = []
+
+    # -- construction ----------------------------------------------------------
+
+    def _register_node(self, node: str) -> None:
+        if not node:
+            raise NetlistError("empty node name")
+        if _is_ground(node):
+            return
+        if node not in self._node_index:
+            self._node_index[node] = len(self._node_index)
+
+    def _add(self, element: Element) -> None:
+        if element.name in self._elements:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        if _is_ground(element.pos) and _is_ground(element.neg):
+            raise NetlistError(
+                f"element {element.name!r} has both terminals grounded"
+            )
+        self._register_node(element.pos)
+        self._register_node(element.neg)
+        self._elements[element.name] = element
+
+    def add_resistor(self, name: str, pos: str, neg: str, resistance: float) -> Resistor:
+        """Add a resistor and return it."""
+        r = Resistor(name, pos, neg, resistance)
+        self._add(r)
+        self._resistors.append(r)
+        return r
+
+    def add_capacitor(self, name: str, pos: str, neg: str, capacitance: float) -> Capacitor:
+        """Add a capacitor and return it."""
+        c = Capacitor(name, pos, neg, capacitance)
+        self._add(c)
+        self._capacitors.append(c)
+        return c
+
+    def add_inductor(self, name: str, pos: str, neg: str, inductance: float) -> Inductor:
+        """Add an inductor and return it."""
+        ind = Inductor(name, pos, neg, inductance)
+        self._add(ind)
+        self._inductors.append(ind)
+        return ind
+
+    def add_voltage_source(
+        self, name: str, pos: str, neg: str, waveform: Waveform | float
+    ) -> VoltageSource:
+        """Add a voltage source; a bare float means a DC source."""
+        if isinstance(waveform, (int, float)):
+            waveform = DC(float(waveform))
+        v = VoltageSource(name, pos, neg, waveform)
+        self._add(v)
+        self._vsources.append(v)
+        return v
+
+    def add_current_source(
+        self, name: str, pos: str, neg: str, waveform: Waveform | float
+    ) -> CurrentSource:
+        """Add a current source; a bare float means a DC source."""
+        if isinstance(waveform, (int, float)):
+            waveform = DC(float(waveform))
+        i = CurrentSource(name, pos, neg, waveform)
+        self._add(i)
+        self._isources.append(i)
+        return i
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def resistors(self) -> tuple[Resistor, ...]:
+        return tuple(self._resistors)
+
+    @property
+    def capacitors(self) -> tuple[Capacitor, ...]:
+        return tuple(self._capacitors)
+
+    @property
+    def inductors(self) -> tuple[Inductor, ...]:
+        return tuple(self._inductors)
+
+    @property
+    def voltage_sources(self) -> tuple[VoltageSource, ...]:
+        return tuple(self._vsources)
+
+    @property
+    def current_sources(self) -> tuple[CurrentSource, ...]:
+        return tuple(self._isources)
+
+    def elements(self) -> Iterator[Element]:
+        """Iterate over all elements in insertion order."""
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __getitem__(self, name: str) -> Element:
+        return self._elements[name]
+
+    # -- index assignment ----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_index)
+
+    @property
+    def unknowns(self) -> _Unknowns:
+        """Block sizes of the MNA unknown vector."""
+        return _Unknowns(
+            n_nodes=self.n_nodes,
+            n_vsrc=len(self._vsources),
+            n_ind=len(self._inductors),
+        )
+
+    @property
+    def dim(self) -> int:
+        """Total MNA system dimension."""
+        return self.unknowns.dim
+
+    def node_index(self, node: str) -> int:
+        """Matrix row of a node voltage; ``-1`` for ground."""
+        if _is_ground(node):
+            return -1
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def node_names(self) -> tuple[str, ...]:
+        """Non-ground node names in index order."""
+        return tuple(self._node_index)
+
+    def vsource_index(self, name: str) -> int:
+        """Matrix row of a voltage-source branch current."""
+        for k, v in enumerate(self._vsources):
+            if v.name == name:
+                return self.n_nodes + k
+        raise NetlistError(f"unknown voltage source {name!r}")
+
+    def inductor_index(self, name: str) -> int:
+        """Matrix row of an inductor branch current."""
+        for k, ind in enumerate(self._inductors):
+            if ind.name == name:
+                return self.n_nodes + len(self._vsources) + k
+        raise NetlistError(f"unknown inductor {name!r}")
+
+    # -- validation ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural well-formedness; raise :class:`NetlistError`.
+
+        Detects empty circuits and nodes with no DC path to ground through
+        resistive/source elements (which make ``G`` singular and break the
+        regularization-free formulation of paper Sec. 3.3.3).
+        """
+        if not self._elements:
+            raise NetlistError("empty netlist")
+        if not any(True for _ in self._node_index):
+            raise NetlistError("netlist has no non-ground nodes")
+        self._check_dc_connectivity()
+
+    def _check_dc_connectivity(self) -> None:
+        """Every node must reach ground through R/L/V elements."""
+        adjacency: dict[str, set[str]] = {n: set() for n in self._node_index}
+        ground = "0"
+        adjacency[ground] = set()
+
+        def canon(node: str) -> str:
+            return ground if _is_ground(node) else node
+
+        dc_paths: Iterable[Element] = (
+            list(self._resistors) + list(self._inductors) + list(self._vsources)
+        )
+        for e in dc_paths:
+            a, b = canon(e.pos), canon(e.neg)
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+
+        seen = {ground}
+        stack = [ground]
+        while stack:
+            for nxt in adjacency.get(stack.pop(), ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        floating = [n for n in self._node_index if n not in seen]
+        if floating:
+            raise NetlistError(
+                f"{len(floating)} node(s) have no DC path to ground, "
+                f"e.g. {floating[:5]!r}; G would be singular"
+            )
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line human-readable size summary."""
+        u = self.unknowns
+        return (
+            f"{self.title}: {u.n_nodes} nodes, {len(self._resistors)} R, "
+            f"{len(self._capacitors)} C, {len(self._inductors)} L, "
+            f"{len(self._vsources)} V, {len(self._isources)} I "
+            f"(dim {u.dim})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Netlist {self.summary()}>"

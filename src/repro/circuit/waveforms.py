@@ -1,0 +1,428 @@
+"""Input-source waveform models.
+
+MATEX's whole decomposition story is driven by the *shape* of the input
+waveforms: every time point at which the slope of an input changes is a
+*transition spot* (TS, paper Sec. 2.2).  Between two consecutive transition
+spots an input is linear, which is exactly the assumption under which the
+exponential-time-differencing update (paper Eq. 5) is analytic.
+
+This module provides the waveform classes used throughout the simulator:
+
+``DC``
+    A constant value; no transition spots.
+``PWL``
+    Piecewise-linear waveform given by ``(time, value)`` breakpoints, the
+    classic SPICE ``PWL(...)`` source.
+``Pulse``
+    The classic SPICE ``PULSE(...)`` source.  Power-grid current loads are
+    "characterised as pulse inputs" (paper Sec. 2.1); the pulse parameters
+    ``(t_delay, t_rise, t_width, t_fall)`` define the "bump shape" used to
+    group sources in the distributed decomposition (paper Fig. 3).
+
+All waveforms expose:
+
+* ``value(t)``        — the value at time ``t``;
+* ``slope(t)``        — the right-sided derivative at ``t``;
+* ``transition_spots(t_end)`` — sorted times in ``[0, t_end]`` where the
+  slope changes (the Local Transition Spots of this source).
+
+Times and values are plain floats in SI units (seconds, amps, volts).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Waveform", "DC", "PWL", "Pulse", "BumpShape"]
+
+#: Relative tolerance used when merging nearly-identical transition times.
+_TIME_RTOL = 1e-12
+
+
+def _dedup_sorted(times: list[float], atol: float = 0.0) -> list[float]:
+    """Remove near-duplicate entries from a sorted list of times."""
+    out: list[float] = []
+    for t in times:
+        if out and math.isclose(t, out[-1], rel_tol=_TIME_RTOL, abs_tol=atol):
+            continue
+        out.append(t)
+    return out
+
+
+class Waveform:
+    """Abstract base class for all input waveforms."""
+
+    def value(self, t: float) -> float:
+        """Return the waveform value at time ``t``."""
+        raise NotImplementedError
+
+    def slope(self, t: float) -> float:
+        """Return the right-sided slope (d/dt) at time ``t``."""
+        raise NotImplementedError
+
+    def transition_spots(self, t_end: float) -> list[float]:
+        """Return sorted slope-change times within ``[0, t_end]``.
+
+        Time ``0.0`` is always included: the simulation start is a
+        transition spot by convention (paper Fig. 1 marks t=0/DC).
+        """
+        raise NotImplementedError
+
+    def values(self, times: Sequence[float]) -> list[float]:
+        """Vector convenience wrapper around :meth:`value`."""
+        return [self.value(t) for t in times]
+
+    def values_array(self, times) -> "np.ndarray":
+        """Vectorised evaluation over a numpy array of times.
+
+        The base implementation falls back to scalar evaluation;
+        :class:`DC`, :class:`PWL` and :class:`Pulse` provide O(n log n)
+        numpy versions used by the fixed-step baselines, which evaluate
+        thousands of sources on thousand-point grids.
+        """
+        import numpy as np
+
+        return np.array([self.value(float(t)) for t in np.asarray(times).ravel()])
+
+    def is_constant(self) -> bool:
+        """True when the waveform never changes (used for DC-only nodes)."""
+        return False
+
+
+@dataclass(frozen=True)
+class DC(Waveform):
+    """Constant waveform (supply voltages, DC loads)."""
+
+    level: float = 0.0
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def slope(self, t: float) -> float:
+        return 0.0
+
+    def transition_spots(self, t_end: float) -> list[float]:
+        return [0.0]
+
+    def is_constant(self) -> bool:
+        return True
+
+    def values_array(self, times):
+        import numpy as np
+
+        return np.full(np.asarray(times).shape, self.level, dtype=float)
+
+
+@dataclass(frozen=True)
+class PWL(Waveform):
+    """Piecewise-linear waveform defined by breakpoints.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(time, value)`` pairs with strictly increasing times.
+        Before the first breakpoint the waveform holds the first value;
+        after the last breakpoint it holds the last value (SPICE semantics).
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        pts = tuple((float(t), float(v)) for t, v in points)
+        if not pts:
+            raise ValueError("PWL requires at least one breakpoint")
+        for (t0, _), (t1, _) in zip(pts, pts[1:]):
+            if t1 <= t0:
+                raise ValueError(
+                    f"PWL breakpoint times must be strictly increasing, "
+                    f"got {t0!r} then {t1!r}"
+                )
+        object.__setattr__(self, "points", pts)
+
+    @property
+    def _times(self) -> list[float]:
+        return [t for t, _ in self.points]
+
+    def value(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        i = bisect.bisect_right(self._times, t) - 1
+        t0, v0 = pts[i]
+        t1, v1 = pts[i + 1]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def slope(self, t: float) -> float:
+        pts = self.points
+        if t < pts[0][0] or t >= pts[-1][0]:
+            return 0.0
+        i = bisect.bisect_right(self._times, t) - 1
+        t0, v0 = pts[i]
+        t1, v1 = pts[i + 1]
+        return (v1 - v0) / (t1 - t0)
+
+    def values_array(self, times):
+        import numpy as np
+
+        xp = np.array([t for t, _ in self.points])
+        fp = np.array([v for _, v in self.points])
+        return np.interp(np.asarray(times, dtype=float), xp, fp)
+
+    def transition_spots(self, t_end: float) -> list[float]:
+        spots = [0.0]
+        prev_slope = 0.0
+        # Slope changes can only happen at breakpoints (and the value can
+        # step only via a slope change here, since PWL is continuous).
+        for i, (t, _) in enumerate(self.points):
+            if t < 0.0 or t > t_end:
+                continue
+            if i + 1 < len(self.points):
+                t1, v1 = self.points[i + 1]
+                t0, v0 = self.points[i]
+                new_slope = (v1 - v0) / (t1 - t0)
+            else:
+                new_slope = 0.0
+            if not math.isclose(new_slope, prev_slope, rel_tol=1e-12, abs_tol=0.0):
+                spots.append(t)
+            prev_slope = new_slope
+        return _dedup_sorted(sorted(spots))
+
+
+@dataclass(frozen=True)
+class BumpShape:
+    """The pulse-shape key used to group sources (paper Fig. 3).
+
+    Two pulse sources belong to the same group when they share the same
+    ``(t_delay, t_rise, t_fall, t_width)`` tuple — their Local Transition
+    Spots coincide, so a single computing node can simulate the whole group
+    while generating Krylov subspaces only at those shared spots.
+    """
+
+    t_delay: float
+    t_rise: float
+    t_fall: float
+    t_width: float
+
+    def key(self) -> tuple[float, float, float, float]:
+        """Hashable grouping key."""
+        return (self.t_delay, self.t_rise, self.t_fall, self.t_width)
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """SPICE ``PULSE(v1 v2 td tr tw tf period)`` waveform.
+
+    The waveform starts at ``v1``, stays there until ``t_delay``, ramps to
+    ``v2`` over ``t_rise``, holds for ``t_width``, ramps back over
+    ``t_fall``, and (if ``t_period`` is given) repeats.
+
+    Note the argument order follows the paper's Fig. 3 nomenclature
+    ``(t_delay, t_rise, t_width, t_fall, t_period)`` rather than raw SPICE.
+    """
+
+    v1: float
+    v2: float
+    t_delay: float
+    t_rise: float
+    t_width: float
+    t_fall: float
+    t_period: float | None = None
+
+    def __post_init__(self):
+        if self.t_rise <= 0.0 or self.t_fall <= 0.0:
+            raise ValueError("Pulse rise/fall times must be positive")
+        if self.t_width < 0.0 or self.t_delay < 0.0:
+            raise ValueError("Pulse delay/width must be non-negative")
+        if self.t_period is not None:
+            min_period = self.t_rise + self.t_width + self.t_fall
+            if self.t_period < min_period:
+                raise ValueError(
+                    f"t_period={self.t_period} shorter than one bump "
+                    f"({min_period})"
+                )
+
+    # -- single-bump geometry -------------------------------------------------
+
+    def _snap(self, tau: float) -> float:
+        """Snap ``tau`` onto an adjacent bump breakpoint.
+
+        Transition-spot times are built as sums like ``t_delay + t_rise``
+        while evaluation computes ``tau = t − t_delay``; the two can
+        disagree by an ulp, which would return the *previous* segment's
+        slope exactly at a breakpoint.  Snapping keeps ``slope()``
+        right-sided at its own transition spots.
+        """
+        breakpoints = (
+            0.0,
+            self.t_rise,
+            self.t_rise + self.t_width,
+            self.t_rise + self.t_width + self.t_fall,
+        )
+        for bp in breakpoints:
+            if math.isclose(tau, bp, rel_tol=1e-12, abs_tol=0.0):
+                return bp
+        return tau
+
+    def _bump_value(self, tau: float) -> float:
+        """Value of one bump, with ``tau`` measured from ``t_delay``."""
+        tau = self._snap(tau)
+        if tau <= 0.0:
+            return self.v1
+        if tau < self.t_rise:
+            return self.v1 + (self.v2 - self.v1) * tau / self.t_rise
+        tau -= self.t_rise
+        if tau < self.t_width:
+            return self.v2
+        tau -= self.t_width
+        if tau < self.t_fall:
+            return self.v2 + (self.v1 - self.v2) * tau / self.t_fall
+        return self.v1
+
+    def _bump_slope(self, tau: float) -> float:
+        tau = self._snap(tau)
+        if tau < 0.0:
+            return 0.0
+        if tau < self.t_rise:
+            return (self.v2 - self.v1) / self.t_rise
+        tau -= self.t_rise
+        if tau < self.t_width:
+            return 0.0
+        tau -= self.t_width
+        if tau < self.t_fall:
+            return (self.v1 - self.v2) / self.t_fall
+        return 0.0
+
+    def _fold(self, t: float) -> float:
+        """Map absolute time to bump-local time ``tau``."""
+        tau = t - self.t_delay
+        if self.t_period is not None and tau >= 0.0:
+            tau = math.fmod(tau, self.t_period)
+        return tau
+
+    # -- Waveform interface ---------------------------------------------------
+
+    def value(self, t: float) -> float:
+        return self._bump_value(self._fold(t))
+
+    def slope(self, t: float) -> float:
+        return self._bump_slope(self._fold(t))
+
+    def values_array(self, times):
+        import numpy as np
+
+        t = np.asarray(times, dtype=float)
+        tau = t - self.t_delay
+        if self.t_period is not None:
+            positive = tau >= 0.0
+            tau = np.where(positive, np.fmod(tau, self.t_period), tau)
+        xp = np.array([
+            0.0,
+            self.t_rise,
+            self.t_rise + self.t_width,
+            self.t_rise + self.t_width + self.t_fall,
+        ])
+        fp = np.array([self.v1, self.v2, self.v2, self.v1])
+        out = np.interp(tau, xp, fp, left=self.v1, right=self.v1)
+        return out
+
+    def transition_spots(self, t_end: float) -> list[float]:
+        spots = [0.0]
+        bump = [0.0, self.t_rise, self.t_rise + self.t_width,
+                self.t_rise + self.t_width + self.t_fall]
+        k = 0
+        while True:
+            if self.t_period is None and k > 0:
+                break
+            base = self.t_delay + (k * self.t_period if self.t_period else 0.0)
+            if base > t_end:
+                break
+            for off in bump:
+                t = base + off
+                if 0.0 <= t <= t_end:
+                    spots.append(t)
+            k += 1
+        return _dedup_sorted(sorted(spots))
+
+    def is_constant(self) -> bool:
+        return self.v1 == self.v2
+
+    # -- MATEX-specific helpers -----------------------------------------------
+
+    def bump_shape(self) -> BumpShape:
+        """Return the grouping key of this pulse (paper Fig. 3)."""
+        return BumpShape(
+            t_delay=self.t_delay,
+            t_rise=self.t_rise,
+            t_fall=self.t_fall,
+            t_width=self.t_width,
+        )
+
+    def split_bumps(self, t_end: float) -> list["Pulse"]:
+        """Split into single-bump pulses (paper Fig. 3 decomposition).
+
+        Each repetition of the bump inside ``[0, t_end)`` becomes its own
+        non-periodic pulse with baseline 0 and amplitude ``v2 − v1``, so
+
+            u(t) − u(0)  =  Σ_k  bump_k(t)      for t in [0, t_end)
+
+        (the deviation form used by the distributed scheduler).  A
+        non-periodic pulse returns a single-element list.
+        """
+        amplitude = self.v2 - self.v1
+        bumps: list[Pulse] = []
+        k = 0
+        while True:
+            delay = self.t_delay + (
+                k * self.t_period if self.t_period is not None else 0.0
+            )
+            if delay >= t_end:
+                break
+            bumps.append(
+                Pulse(
+                    v1=0.0, v2=amplitude,
+                    t_delay=delay, t_rise=self.t_rise,
+                    t_width=self.t_width, t_fall=self.t_fall,
+                )
+            )
+            if self.t_period is None:
+                break
+            k += 1
+        return bumps
+
+    def to_pwl(self, t_end: float) -> PWL:
+        """Expand the pulse into an equivalent PWL over ``[0, t_end]``."""
+        spots = self.transition_spots(t_end)
+        pts = [(t, self.value(t)) for t in spots]
+        if pts[0][0] > 0.0:
+            pts.insert(0, (0.0, self.value(0.0)))
+        if pts[-1][0] < t_end:
+            pts.append((t_end, self.value(t_end)))
+        # Ensure strictly increasing times after dedup.
+        out = [pts[0]]
+        for t, v in pts[1:]:
+            if t > out[-1][0]:
+                out.append((t, v))
+        return PWL(out)
+
+
+def merge_transition_spots(
+    spot_lists: Sequence[Sequence[float]], atol: float = 0.0
+) -> list[float]:
+    """Union of several transition-spot lists (the paper's GTS operator).
+
+    Parameters
+    ----------
+    spot_lists:
+        One list of transition spots per input source.
+    atol:
+        Absolute tolerance under which two spots are considered identical.
+    """
+    merged: list[float] = sorted(t for spots in spot_lists for t in spots)
+    if not merged:
+        return [0.0]
+    return _dedup_sorted(merged, atol=atol)

@@ -1,0 +1,69 @@
+"""Netlist writer: serialise a :class:`Netlist` back to SPICE text.
+
+Round-trips with :mod:`repro.circuit.parser`, which makes the synthetic
+PDN suite exportable in the same flat-SPICE dialect as the IBM power grid
+benchmarks — useful for cross-checking against external simulators.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.waveforms import DC, PWL, Pulse, Waveform
+
+__all__ = ["format_netlist", "write_file"]
+
+
+def _fmt(x: float) -> str:
+    """Compact float formatting that survives a parse round-trip."""
+    return repr(float(x))
+
+
+def _fmt_waveform(w: Waveform) -> str:
+    if isinstance(w, DC):
+        return _fmt(w.level)
+    if isinstance(w, Pulse):
+        # SPICE order: v1 v2 td tr tf pw per
+        args = [w.v1, w.v2, w.t_delay, w.t_rise, w.t_fall, w.t_width]
+        if w.t_period is not None:
+            args.append(w.t_period)
+        return "PULSE(" + " ".join(_fmt(a) for a in args) + ")"
+    if isinstance(w, PWL):
+        flat = " ".join(f"{_fmt(t)} {_fmt(v)}" for t, v in w.points)
+        return f"PWL({flat})"
+    raise TypeError(f"cannot serialise waveform of type {type(w).__name__}")
+
+
+def format_netlist(netlist: Netlist, t_end: float | None = None) -> str:
+    """Render a netlist as flat-SPICE text.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit to serialise.
+    t_end:
+        Optional transient stop time; when given, a ``.tran`` directive is
+        emitted (step hint = t_end/1000, mirroring the paper's 1000-step
+        trapezoidal baseline).
+    """
+    lines = [f"* {netlist.title}"]
+    for r in netlist.resistors:
+        lines.append(f"{r.name} {r.pos} {r.neg} {_fmt(r.resistance)}")
+    for c in netlist.capacitors:
+        lines.append(f"{c.name} {c.pos} {c.neg} {_fmt(c.capacitance)}")
+    for l in netlist.inductors:
+        lines.append(f"{l.name} {l.pos} {l.neg} {_fmt(l.inductance)}")
+    for v in netlist.voltage_sources:
+        lines.append(f"{v.name} {v.pos} {v.neg} {_fmt_waveform(v.waveform)}")
+    for i in netlist.current_sources:
+        lines.append(f"{i.name} {i.pos} {i.neg} {_fmt_waveform(i.waveform)}")
+    if t_end is not None:
+        lines.append(f".tran {_fmt(t_end / 1000.0)} {_fmt(t_end)}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_file(netlist: Netlist, path: str | Path, t_end: float | None = None) -> None:
+    """Write :func:`format_netlist` output to ``path``."""
+    Path(path).write_text(format_netlist(netlist, t_end=t_end))

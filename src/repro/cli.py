@@ -1,0 +1,171 @@
+"""Command-line interface: simulate SPICE-dialect netlists with MATEX.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli info grid.spice
+    python -m repro.cli dc grid.spice
+    python -m repro.cli simulate grid.spice --t-end 10n --method rmatex \
+        --nodes n0_0 n5_5 --out waves.csv
+    python -m repro.cli simulate grid.spice --t-end 10n --distributed \
+        --out waves.npz
+
+Times accept SPICE suffixes (``10n``, ``50p``).  Output formats: ``.csv``
+(time + selected node voltages) and ``.npz`` (full state trajectory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.droop import droop_report
+from repro.baselines.fixed_step import dc_operating_point
+from repro.circuit.mna import assemble
+from repro.circuit.parser import parse_file, parse_value
+from repro.core.options import SolverOptions
+from repro.core.results import TransientResult
+from repro.core.solver import MatexSolver
+from repro.dist.scheduler import MatexScheduler
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and doc generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="MATEX transient simulation of PDN netlists.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="netlist summary and GTS statistics")
+    info.add_argument("netlist", type=Path)
+    info.add_argument("--t-end", default="10n",
+                      help="horizon for transition-spot statistics")
+
+    dc = sub.add_parser("dc", help="DC operating point")
+    dc.add_argument("netlist", type=Path)
+    dc.add_argument("--nodes", nargs="*", default=None,
+                    help="nodes to print (default: summary only)")
+
+    sim = sub.add_parser("simulate", help="transient simulation")
+    sim.add_argument("netlist", type=Path)
+    sim.add_argument("--t-end", required=True,
+                     help="simulation horizon (SPICE suffixes ok)")
+    sim.add_argument("--method", default="rmatex",
+                     help="mexp | imatex | rmatex (default)")
+    sim.add_argument("--gamma", default="1e-10",
+                     help="rational-Krylov shift")
+    sim.add_argument("--eps", type=float, default=1e-7,
+                     help="relative Arnoldi error budget")
+    sim.add_argument("--distributed", action="store_true",
+                     help="use the bump-decomposition scheduler")
+    sim.add_argument("--decomposition", default="bump",
+                     choices=["bump", "source", "bump-split"])
+    sim.add_argument("--nodes", nargs="*", default=None,
+                     help="node voltages to export (default: all)")
+    sim.add_argument("--out", type=Path, default=None,
+                     help="output file (.csv or .npz)")
+    sim.add_argument("--vdd", default=None,
+                     help="nominal rail voltage: prints a droop report")
+    return parser
+
+
+def _load(path: Path):
+    system = assemble(parse_file(path))
+    return system
+
+
+def _cmd_info(args) -> int:
+    system = _load(args.netlist)
+    t_end = parse_value(args.t_end)
+    print(system.netlist.summary())
+    print(f"C singular: {system.is_c_singular()}")
+    gts = system.global_transition_spots(t_end)
+    print(f"global transition spots in [0, {t_end:g}]: {len(gts)}")
+    scheduler = MatexScheduler(system)
+    groups = scheduler.groups()
+    print(f"bump groups (natural node count): {len(groups)}")
+    return 0
+
+
+def _cmd_dc(args) -> int:
+    system = _load(args.netlist)
+    x, _ = dc_operating_point(system)
+    rails = x[: system.netlist.n_nodes]
+    print(f"DC solved: {len(rails)} node voltages, "
+          f"min {rails.min():.6g} V, max {rails.max():.6g} V")
+    for node in args.nodes or []:
+        print(f"  {node}: {system.node_voltage(x, node):.6g} V")
+    return 0
+
+
+def _export(result: TransientResult, nodes, out: Path) -> None:
+    system = result.system
+    if out.suffix == ".npz":
+        np.savez_compressed(
+            out,
+            times=result.times,
+            states=result.states,
+            node_names=np.array(system.netlist.node_names()),
+        )
+        return
+    if out.suffix != ".csv":
+        raise ValueError(f"unsupported output format {out.suffix!r}; "
+                         f"use .csv or .npz")
+    names = list(nodes) if nodes else list(system.netlist.node_names())
+    with open(out, "w") as f:
+        f.write("time," + ",".join(names) + "\n")
+        for i, t in enumerate(result.times):
+            row = [f"{t:.9e}"]
+            for name in names:
+                idx = system.netlist.node_index(name)
+                row.append(f"{result.states[i, idx]:.9e}")
+            f.write(",".join(row) + "\n")
+
+
+def _cmd_simulate(args) -> int:
+    system = _load(args.netlist)
+    t_end = parse_value(args.t_end)
+    opts = SolverOptions(
+        method=args.method, gamma=parse_value(args.gamma), eps_rel=args.eps
+    )
+    if args.distributed:
+        dres = MatexScheduler(
+            system, opts, decomposition=args.decomposition
+        ).run(t_end)
+        result = dres.result
+        print(f"distributed: {dres.n_nodes} nodes, "
+              f"trmatex {dres.tr_matex * 1e3:.1f} ms, "
+              f"tr_total {dres.tr_total * 1e3:.1f} ms")
+    else:
+        result = MatexSolver(system, opts).simulate(t_end)
+        st = result.stats
+        print(f"single node: {st.summary()}")
+
+    if args.vdd is not None:
+        report = droop_report(result, vdd=parse_value(args.vdd))
+        print(report.summary())
+
+    if args.out is not None:
+        _export(result, args.nodes, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "dc": _cmd_dc,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Solver configuration.
+
+One dataclass shared by the single-node circuit solver (Alg. 2) and the
+distributed framework, mirroring the paper's experimental knobs:
+
+* Krylov flavour (``standard`` = MEXP / ``inverted`` = I-MATEX /
+  ``rational`` = R-MATEX),
+* the rational shift γ ("set to sit among the order of varied time steps
+  during the simulation", Sec. 4.3 uses 1e-10 for 10ps-scale stepping),
+* the Arnoldi error budget ε of Alg. 1,
+* basis-size limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.linalg.krylov import METHOD_NAMES
+
+__all__ = ["SolverOptions"]
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Options for :class:`repro.core.solver.MatexSolver`.
+
+    Attributes
+    ----------
+    method:
+        Krylov flavour; accepts paper aliases (``mexp``, ``imatex``,
+        ``rmatex``) — canonicalised on construction.
+    gamma:
+        Shift of the rational Krylov subspace, in seconds.  Should be of
+        the order of the time steps taken (paper Sec. 3.3.2); the γ
+        ablation benchmark quantifies the claimed insensitivity.
+    eps_rel:
+        Relative part of the Arnoldi error budget: the convergence test of
+        Alg. 1 uses ``ε = eps_rel · ‖v‖ + eps_abs``.
+    eps_abs:
+        Absolute floor of the error budget (guards near-zero states).
+    m_max:
+        Hard cap on the Krylov dimension.  MEXP on stiff circuits runs
+        into this cap; I-/R-MATEX stay around 10 (paper Table 1).
+    m_min:
+        Iterations before the first posterior-error check.
+    """
+
+    method: str = "rational"
+    gamma: float = 1e-10
+    eps_rel: float = 1e-7
+    eps_abs: float = 1e-12
+    m_max: int = 300
+    m_min: int = 2
+
+    def __post_init__(self):
+        canonical = METHOD_NAMES.get(self.method.lower())
+        if canonical is None:
+            raise ValueError(
+                f"unknown method {self.method!r}; "
+                f"choose from {sorted(set(METHOD_NAMES))}"
+            )
+        object.__setattr__(self, "method", canonical)
+        if self.gamma <= 0.0:
+            raise ValueError("gamma must be positive")
+        if self.eps_rel < 0.0 or self.eps_abs < 0.0:
+            raise ValueError("error budgets must be non-negative")
+        if self.m_max < 1 or self.m_min < 1:
+            raise ValueError("basis-size limits must be at least 1")
+
+    def with_method(self, method: str) -> "SolverOptions":
+        """Copy of these options with another Krylov flavour."""
+        return replace(self, method=method)

@@ -1,0 +1,154 @@
+"""Transition-spot bookkeeping (paper Sec. 3.1 definitions).
+
+* **LTS** (Local Transition Spot): slope-change times of *one* input
+  source — or, after decomposition, of one *group* of sources.
+* **GTS** (Global Transition Spot): the union of all LTS.
+* **Snapshot**: GTS points that are *not* LTS of the local group — the
+  points a MATEX node must still evaluate (for the final superposition)
+  but can serve from the most recent Krylov basis by rescaling ``h``.
+
+:class:`TransitionSchedule` materialises this for one solver run: the
+ordered marching points, with a flag telling Alg. 2 whether each point
+starts a new input segment (generate a Krylov basis) or is a snapshot
+(reuse).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuit.mna import MNASystem
+
+__all__ = ["TransitionSchedule", "build_schedule"]
+
+#: Relative tolerance for matching a GTS point against an LTS point.
+_MATCH_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class TransitionSchedule:
+    """Marching schedule of one MATEX node.
+
+    Attributes
+    ----------
+    points:
+        Sorted global transition spots in ``[0, t_end]``, always starting
+        at 0 and ending at ``t_end``.
+    is_lts:
+        Parallel flags: ``is_lts[i]`` is true when ``points[i]`` is a
+        local transition spot of the node's own source group, i.e. the
+        input slope changes there and a fresh Krylov subspace is needed.
+    t_end:
+        Simulation horizon.
+    """
+
+    points: tuple[float, ...]
+    is_lts: tuple[bool, ...]
+    t_end: float
+
+    def __post_init__(self):
+        if len(self.points) != len(self.is_lts):
+            raise ValueError("points and is_lts must have equal length")
+        if not self.points:
+            raise ValueError("schedule needs at least one point")
+
+    @property
+    def n_lts(self) -> int:
+        """Number of Krylov-generation points (paper's ``k`` in Eq. 12)."""
+        return sum(self.is_lts)
+
+    @property
+    def n_points(self) -> int:
+        """Number of GTS points (paper's ``K`` in Eq. 11)."""
+        return len(self.points)
+
+    @property
+    def n_snapshots(self) -> int:
+        """Points served by Krylov-basis reuse."""
+        return self.n_points - self.n_lts
+
+    def segments(self) -> list[tuple[float, float, bool]]:
+        """Steps as ``(t_from, t_to, from_is_lts)`` triples."""
+        return [
+            (t0, t1, lts)
+            for t0, t1, lts in zip(self.points, self.points[1:], self.is_lts)
+        ]
+
+
+def _match_sorted(haystack: Sequence[float], needle: float) -> bool:
+    """Binary-search membership with relative tolerance."""
+    import bisect
+
+    i = bisect.bisect_left(haystack, needle)
+    for j in (i - 1, i, i + 1):
+        if 0 <= j < len(haystack) and math.isclose(
+            haystack[j], needle, rel_tol=_MATCH_RTOL, abs_tol=1e-30
+        ):
+            return True
+    return False
+
+
+def build_schedule(
+    system: MNASystem,
+    t_end: float,
+    local_inputs: Sequence[int] | None = None,
+    global_points: Sequence[float] | None = None,
+    waveform_overrides: dict | None = None,
+) -> TransitionSchedule:
+    """Build the LTS/GTS schedule for a (possibly decomposed) solver run.
+
+    Parameters
+    ----------
+    system:
+        Assembled MNA system.
+    t_end:
+        Simulation horizon (> 0).
+    local_inputs:
+        The input columns this node owns.  ``None`` means *all* inputs —
+        the non-decomposed case, where every GTS point is an LTS.
+    global_points:
+        Pre-computed GTS (so the scheduler computes them once and every
+        node shares the identical grid for superposition).  Computed from
+        the full system when omitted.
+    waveform_overrides:
+        Optional ``{column: waveform}`` replacements (split-bump
+        decomposition); the local transition spots come from the
+        replacement waveforms.
+
+    Returns
+    -------
+    TransitionSchedule
+        Marching points with per-point LTS flags.  Point 0.0 is always an
+        LTS (the initial basis must be generated).
+    """
+    if t_end <= 0.0:
+        raise ValueError(f"t_end must be positive, got {t_end!r}")
+    if waveform_overrides:
+        system = system.with_waveforms(waveform_overrides)
+
+    if global_points is None:
+        gts = system.global_transition_spots(t_end)
+    else:
+        gts = sorted(float(t) for t in global_points if 0.0 <= t <= t_end)
+        if not gts or gts[0] > 0.0:
+            gts.insert(0, 0.0)
+        if gts[-1] < t_end:
+            gts.append(t_end)
+
+    if local_inputs is None:
+        flags = [True] * len(gts)
+        return TransitionSchedule(tuple(gts), tuple(flags), t_end)
+
+    # Collect the raw slope-change times of the local group only; the
+    # horizon t_end is a marching point but not a slope change, so it
+    # counts as LTS only if some local waveform really transitions there.
+    raw_lts = set()
+    for k in local_inputs:
+        raw_lts.update(system.local_transition_spots(k, t_end))
+    lts_sorted = sorted(raw_lts)
+
+    flags = [_match_sorted(lts_sorted, t) for t in gts]
+    flags[0] = True  # the initial basis is always generated at t = 0
+    return TransitionSchedule(tuple(gts), tuple(flags), t_end)

@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per paper table/figure plus ablations."""
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.gamma_ablation import run_gamma_ablation
+from repro.experiments.speedup_model import run_speedup_model
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+__all__ = [
+    "run_fig5",
+    "run_gamma_ablation",
+    "run_speedup_model",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]

@@ -1,0 +1,144 @@
+"""Speedup-model validation — paper Sec. 3.4, Eqs. (11) and (12).
+
+Fits the model constants (``Tbs``, ``TH+Te``, ``Tserial``) from measured
+micro-costs on one suite case, then compares the *predicted* distributed
+speedup against the *measured* one while sweeping the number of
+computing nodes (by merging bump groups with
+:func:`repro.core.decomposition.merge_to_limit`).
+
+This is the ablation the paper argues qualitatively: decomposing input
+transitions shrinks the per-node LTS count ``k`` while the snapshot term
+``K·(TH+Te)`` stays, so speedup saturates once ``k·m·Tbs`` stops
+dominating.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.speedup import SpeedupModel
+from repro.analysis.tables import Table
+from repro.baselines.trapezoidal import simulate_trapezoidal
+from repro.core.options import SolverOptions
+from repro.dist.scheduler import MatexScheduler
+from repro.linalg.lu import SparseLU
+from repro.pdn.suite import build_case
+
+__all__ = ["SpeedupSample", "fit_model_constants", "run_speedup_model"]
+
+
+@dataclass
+class SpeedupSample:
+    """Measured vs predicted speedup at one node count."""
+
+    n_nodes: int
+    k_max: int
+    m_avg: float
+    measured_spdp4: float
+    predicted_spdp4: float
+
+
+def fit_model_constants(system, n_probe: int = 50) -> SpeedupModel:
+    """Measure ``Tbs`` and ``TH+Te`` on the given system.
+
+    ``Tbs`` is timed over ``n_probe`` substitution pairs against the
+    R-MATEX matrix; ``TH+Te`` over ``n_probe`` snapshot evaluations of a
+    representative small basis.
+    """
+    rng = np.random.default_rng(0)
+    lu = SparseLU((system.C + 1e-10 * system.G).tocsc(), label="probe")
+    rhs = rng.normal(size=system.dim)
+    t0 = time.perf_counter()
+    for _ in range(n_probe):
+        lu.solve(rhs)
+    t_bs = (time.perf_counter() - t0) / n_probe
+
+    m = 8
+    vm = rng.normal(size=(system.dim, m))
+    hm = -np.abs(rng.normal(size=(m, m)))
+    from repro.linalg.krylov import KrylovBasis
+
+    basis = KrylovBasis(
+        Vm=vm, Hm=hm, beta=1.0, h_built=1e-11, m=m,
+        error_estimate=0.0, method="rational",
+    )
+    basis.evaluate(1e-11)  # warm the eigen cache
+    t0 = time.perf_counter()
+    for i in range(n_probe):
+        basis.evaluate(1e-11 * (1 + i))
+    t_he = (time.perf_counter() - t0) / n_probe
+    return SpeedupModel(t_bs=t_bs, t_he=t_he, t_serial=lu.factor_seconds)
+
+
+def run_speedup_model(
+    case: str = "pg2t",
+    node_counts: list[int] | None = None,
+    verbose: bool = False,
+) -> tuple[Table, list[SpeedupSample]]:
+    """Sweep node counts; compare measured vs Eq. (12) predicted speedup.
+
+    Parameters
+    ----------
+    case:
+        Suite case to run on.
+    node_counts:
+        Node-count ladder (default 1, 5, 25, then the natural count).
+    verbose:
+        Print rows as they complete.
+    """
+    system, case_def = build_case(case)
+    gts = system.global_transition_spots(case_def.t_end)
+    K = len(gts)
+    N = int(round(case_def.t_end / case_def.h_tr))
+
+    tr = simulate_trapezoidal(system, case_def.h_tr, case_def.t_end,
+                              record_times=[case_def.t_end])
+    t1000 = tr.stats.transient_seconds
+
+    model = fit_model_constants(system)
+    natural = MatexScheduler(system, decomposition="bump").groups()
+    if node_counts is None:
+        node_counts = sorted({1, 5, 25, len(natural)})
+
+    table = Table(
+        ["Nodes", "k(max LTS)", "m(avg)", "Spdp4 measured", "Spdp4 Eq.(12)"],
+        title=f"Speedup model validation on {case} "
+              f"(K={K}, N={N}, Tbs={model.t_bs*1e6:.0f}us, "
+              f"THe={model.t_he*1e6:.0f}us)",
+    )
+    samples: list[SpeedupSample] = []
+    for n_nodes in node_counts:
+        scheduler = MatexScheduler(
+            system,
+            SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-6),
+            decomposition="bump",
+            max_nodes=n_nodes,
+        )
+        dres = scheduler.run(case_def.t_end)
+        k_max = max(s.n_krylov_bases for s in dres.node_stats)
+        m_avg = float(np.mean([
+            s.avg_krylov_dim for s in dres.node_stats if s.krylov_dims
+        ]))
+        measured = t1000 / dres.tr_matex
+        predicted = SpeedupModel(
+            t_bs=model.t_bs, t_he=model.t_he, t_serial=0.0
+        ).speedup_over_fixed(N=N, K=K, k=k_max, m=m_avg)
+        samples.append(SpeedupSample(
+            n_nodes=dres.n_nodes, k_max=k_max, m_avg=m_avg,
+            measured_spdp4=measured, predicted_spdp4=predicted,
+        ))
+        table.add_row([
+            dres.n_nodes, k_max, f"{m_avg:.1f}",
+            f"{measured:.1f}X", f"{predicted:.1f}X",
+        ])
+        if verbose:
+            print(table.rows[-1])
+    return table, samples
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    tbl, _ = run_speedup_model()
+    print(tbl.render())

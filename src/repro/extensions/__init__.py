@@ -1,0 +1,17 @@
+"""Extensions beyond the paper, built on the MATEX core.
+
+Currently: periodic-steady-state (shooting) analysis, which treats one
+MATEX period simulation as a matrix-free linear operator.
+"""
+
+from repro.extensions.periodic import (
+    PssResult,
+    check_input_periodicity,
+    periodic_steady_state,
+)
+
+__all__ = [
+    "PssResult",
+    "check_input_periodicity",
+    "periodic_steady_state",
+]

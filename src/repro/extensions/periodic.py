@@ -1,0 +1,151 @@
+"""Periodic steady-state (PSS) analysis — an extension beyond the paper.
+
+Clock-driven PDN load currents are periodic, and after the start-up
+transient the grid settles into a *periodic steady state*: the state at
+the end of one clock period equals the state at its start.  Because the
+circuit is linear, one period of simulation is an affine map
+
+    x(T) = Φ x(0) + d,
+
+so the steady state is the solution of ``(I − Φ) x* = d``.  Forming Φ
+(the monodromy matrix) is out of the question for large grids; instead
+this module solves the system **matrix-free** with GMRES, where every
+operator application is one MATEX period simulation — inheriting the
+single-factorisation, Krylov-reuse machinery of the core solver.
+
+This is exactly the kind of follow-on the paper's framework enables:
+the expensive primitive ("simulate one period") is cheap under MATEX, so
+shooting-method analyses come almost for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.circuit.mna import MNASystem
+from repro.core.options import SolverOptions
+from repro.core.solver import MatexSolver
+
+__all__ = ["PssResult", "periodic_steady_state", "check_input_periodicity"]
+
+
+@dataclass
+class PssResult:
+    """Outcome of a periodic-steady-state solve.
+
+    Attributes
+    ----------
+    state:
+        The steady state ``x*`` at the period boundary.
+    residual:
+        ``‖x(T; x*) − x*‖`` — how well one simulated period maps the
+        state onto itself (the physically meaningful check).
+    gmres_iterations:
+        Operator applications (= period simulations) GMRES needed.
+    period:
+        The period used.
+    """
+
+    state: np.ndarray
+    residual: float
+    gmres_iterations: int
+    period: float
+
+
+def check_input_periodicity(
+    system: MNASystem, period: float, rtol: float = 1e-9, samples: int = 7
+) -> bool:
+    """True when every varying input repeats with the given period."""
+    for w in system.waveforms:
+        if w.is_constant():
+            continue
+        for k in range(samples):
+            t = (0.13 + 0.77 * k / samples) * period
+            a, b = w.value(t), w.value(t + period)
+            if not math.isclose(a, b, rel_tol=rtol,
+                                abs_tol=rtol * (abs(a) + abs(b) + 1e-30)):
+                return False
+    return True
+
+
+def periodic_steady_state(
+    system: MNASystem,
+    period: float,
+    options: SolverOptions | None = None,
+    tol: float = 1e-9,
+    maxiter: int = 60,
+    verify_inputs: bool = True,
+) -> PssResult:
+    """Solve for the periodic steady state with matrix-free GMRES.
+
+    Parameters
+    ----------
+    system:
+        Assembled MNA system with ``period``-periodic inputs.
+    period:
+        The input period ``T``.
+    options:
+        MATEX solver options for the period simulations (defaults to
+        R-MATEX with a tight budget — the GMRES operator should be as
+        close to exactly linear as possible).
+    tol:
+        Relative GMRES tolerance on ``(I − Φ) x* = d``.
+    maxiter:
+        Cap on GMRES iterations (period simulations).
+    verify_inputs:
+        Check input periodicity first (cheap; catches mistakes like a
+        pulse whose bump spills across the period boundary).
+
+    Returns
+    -------
+    PssResult
+
+    Raises
+    ------
+    ValueError
+        If the inputs are not ``period``-periodic (when verifying).
+    RuntimeError
+        If GMRES fails to converge within ``maxiter`` iterations.
+    """
+    if period <= 0.0:
+        raise ValueError("period must be positive")
+    if verify_inputs and not check_input_periodicity(system, period):
+        raise ValueError(
+            f"inputs are not periodic with period {period!r}; "
+            f"pass verify_inputs=False to override"
+        )
+    opts = options if options is not None else SolverOptions(
+        method="rational", gamma=period / 100.0, eps_rel=1e-10, eps_abs=1e-16
+    )
+    solver = MatexSolver(system, opts)
+
+    def propagate(x0: np.ndarray) -> np.ndarray:
+        return solver.simulate(period, x0=x0).final_state
+
+    d = propagate(np.zeros(system.dim))
+
+    n_applies = 0
+
+    def one_minus_phi(v: np.ndarray) -> np.ndarray:
+        nonlocal n_applies
+        n_applies += 1
+        return v - (propagate(v) - d)
+
+    op = spla.LinearOperator((system.dim, system.dim), matvec=one_minus_phi)
+    x_star, info = spla.gmres(op, d, rtol=tol, maxiter=maxiter)
+    if info != 0:
+        raise RuntimeError(
+            f"PSS GMRES did not converge (info={info}) within "
+            f"{maxiter} period simulations; loosen tol or check stiffness"
+        )
+    residual = float(np.linalg.norm(propagate(x_star) - x_star))
+    return PssResult(
+        state=x_star,
+        residual=residual,
+        gmres_iterations=n_applies,
+        period=period,
+    )

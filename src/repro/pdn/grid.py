@@ -1,0 +1,168 @@
+"""Synthetic power-distribution-network generator (paper Fig. 2 substrate).
+
+Stands in for the IBM power grid benchmarks (see DESIGN.md for the
+substitution rationale).  The generated PDN has the structural features
+MATEX exploits and the baselines stumble on:
+
+* a fine rectangular metal mesh of wire resistances,
+* an optional coarse upper metal layer strapped down through vias,
+* VDD pads modelled as ideal voltage sources behind a pad resistance
+  (their MNA branch rows make ``C`` **singular**, exercising the
+  regularization-free path of Sec. 3.3.3),
+* a grounded decoupling capacitor at every node with log-spread values
+  (this spread is what makes real PDNs stiff),
+* load current sources attached separately by
+  :mod:`repro.pdn.workloads`.
+
+All values are deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.netlist import Netlist
+from repro.pdn.rc_mesh import mesh_node
+
+__all__ = ["PdnConfig", "generate_power_grid"]
+
+
+@dataclass(frozen=True)
+class PdnConfig:
+    """Parameters of the synthetic PDN.
+
+    Attributes
+    ----------
+    rows, cols:
+        Fine-mesh dimensions (``rows*cols`` grid nodes).
+    vdd:
+        Supply voltage at the pads, volts.
+    r_wire:
+        Nominal fine-mesh segment resistance, ohms.
+    r_via:
+        Via resistance from the coarse layer to the fine mesh.
+    r_pad:
+        Series resistance between a pad voltage source and the grid.
+    c_node:
+        Median node decap, farads; values are log-normally spread.
+    cap_spread_decades:
+        Total log10 spread of node capacitances (drives stiffness).
+    n_pads:
+        Number of VDD pads, distributed around the perimeter.
+    coarse_pitch:
+        Every ``coarse_pitch``-th node hosts a coarse-layer strap;
+        0 disables the second layer.
+    l_package:
+        Series package/bond-wire inductance per pad, henries; 0 disables
+        it.  A realistic 0.1-1 nH makes the pad current paths RLC and
+        the rail response ring at ``~1/(2π√(L·C))`` — the full
+        descriptor-system path (inductor branch currents in the MNA
+        unknowns) that the regularization-free solvers must handle.
+    seed:
+        RNG seed.
+    """
+
+    rows: int = 24
+    cols: int = 24
+    vdd: float = 1.8
+    r_wire: float = 0.5
+    r_via: float = 0.2
+    r_pad: float = 0.05
+    c_node: float = 2e-13
+    cap_spread_decades: float = 2.0
+    n_pads: int = 4
+    coarse_pitch: int = 6
+    l_package: float = 0.0
+    seed: int = 2014
+
+    def __post_init__(self):
+        if self.rows < 2 or self.cols < 2:
+            raise ValueError("grid needs at least 2x2 nodes")
+        if self.n_pads < 1:
+            raise ValueError("need at least one VDD pad")
+
+
+def _perimeter_positions(rows: int, cols: int, count: int) -> list[tuple[int, int]]:
+    """``count`` evenly spaced positions along the grid perimeter."""
+    ring: list[tuple[int, int]] = []
+    ring += [(0, j) for j in range(cols)]
+    ring += [(i, cols - 1) for i in range(1, rows)]
+    ring += [(rows - 1, j) for j in range(cols - 2, -1, -1)]
+    ring += [(i, 0) for i in range(rows - 2, 0, -1)]
+    step = max(1, len(ring) // count)
+    return [ring[(k * step) % len(ring)] for k in range(count)]
+
+
+def generate_power_grid(config: PdnConfig) -> Netlist:
+    """Build the PDN netlist described by ``config``.
+
+    Returns
+    -------
+    Netlist
+        Grid with pads and decaps, but **no loads** — attach a workload
+        with :func:`repro.pdn.workloads.attach_pulse_loads`.
+    """
+    rng = np.random.default_rng(config.seed)
+    net = Netlist(
+        f"pdn-{config.rows}x{config.cols}-pads{config.n_pads}"
+    )
+    rows, cols = config.rows, config.cols
+
+    # Fine mesh with ±20% wire-resistance variation.
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                r = config.r_wire * rng.uniform(0.8, 1.2)
+                net.add_resistor(f"Rh{i}_{j}", mesh_node(i, j), mesh_node(i, j + 1), r)
+            if i + 1 < rows:
+                r = config.r_wire * rng.uniform(0.8, 1.2)
+                net.add_resistor(f"Rv{i}_{j}", mesh_node(i, j), mesh_node(i + 1, j), r)
+
+    # Node decaps, log-normally spread around c_node.
+    half = config.cap_spread_decades / 2.0
+    for i in range(rows):
+        for j in range(cols):
+            c = config.c_node * 10.0 ** rng.uniform(-half, half)
+            net.add_capacitor(f"C{i}_{j}", mesh_node(i, j), "0", c)
+
+    # Coarse upper layer: low-resistance straps every `coarse_pitch`
+    # rows/columns, tied to the mesh through vias.
+    if config.coarse_pitch > 0:
+        pitch = config.coarse_pitch
+        coarse = [
+            (i, j)
+            for i in range(0, rows, pitch)
+            for j in range(0, cols, pitch)
+        ]
+        for a, (i, j) in enumerate(coarse):
+            net.add_resistor(
+                f"Rvia{a}", f"s{i}_{j}", mesh_node(i, j), config.r_via
+            )
+        # Connect coarse nodes in a chain (ring-like strap network).
+        for a in range(len(coarse) - 1):
+            i0, j0 = coarse[a]
+            i1, j1 = coarse[a + 1]
+            net.add_resistor(
+                f"Rstrap{a}", f"s{i0}_{j0}", f"s{i1}_{j1}", config.r_wire / 5.0
+            )
+
+    # VDD pads: ideal source behind a pad resistance (and optionally a
+    # package inductance).  The source branch rows have no capacitive
+    # stamp, so C is singular by construction.
+    pads = _perimeter_positions(rows, cols, config.n_pads)
+    for k, (i, j) in enumerate(pads):
+        pad_node = f"pad{k}"
+        net.add_voltage_source(f"Vdd{k}", pad_node, "0", config.vdd)
+        if config.l_package > 0.0:
+            bump_node = f"pkg{k}"
+            net.add_inductor(f"Lpkg{k}", pad_node, bump_node,
+                             config.l_package)
+            net.add_resistor(f"Rpad{k}", bump_node, mesh_node(i, j),
+                             config.r_pad)
+        else:
+            net.add_resistor(f"Rpad{k}", pad_node, mesh_node(i, j),
+                             config.r_pad)
+
+    return net

@@ -1,0 +1,98 @@
+"""Shared fixtures: small deterministic circuits for the whole suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Netlist, Pulse, assemble
+
+
+def build_rc_ladder(n: int = 10, with_pulse: bool = True) -> Netlist:
+    """Current-driven RC ladder: invertible C (dense-oracle friendly)."""
+    net = Netlist(f"rc-ladder-{n}")
+    for i in range(n):
+        head = "0" if i == 0 else f"m{i}"
+        net.add_resistor(f"R{i}", head, f"m{i + 1}", 2.0 + 0.1 * i)
+        net.add_capacitor(f"C{i}", f"m{i + 1}", "0", 1e-13 * (1 + i))
+    if with_pulse:
+        net.add_current_source(
+            "I0", f"m{n}", "0",
+            Pulse(0.0, 1e-3, 1e-10, 5e-11, 2e-10, 5e-11),
+        )
+    return net
+
+
+def build_small_pdn() -> Netlist:
+    """Tiny grid with a VDD pad: singular C (regularization-free path)."""
+    net = Netlist("small-pdn")
+    for i in range(4):
+        for j in range(4):
+            if j + 1 < 4:
+                net.add_resistor(f"Rh{i}{j}", f"g{i}_{j}", f"g{i}_{j + 1}", 0.5)
+            if i + 1 < 4:
+                net.add_resistor(f"Rv{i}{j}", f"g{i}_{j}", f"g{i + 1}_{j}", 0.5)
+            net.add_capacitor(f"C{i}{j}", f"g{i}_{j}", "0", 2e-13)
+    net.add_voltage_source("Vdd", "pad", "0", 1.8)
+    net.add_resistor("Rpad", "pad", "g0_0", 0.05)
+    net.add_current_source(
+        "I0", "g3_3", "0", Pulse(0.0, 2e-3, 1e-10, 2e-11, 1e-10, 2e-11)
+    )
+    net.add_current_source(
+        "I1", "g1_2", "0", Pulse(0.0, 1e-3, 1.9e-10, 2e-11, 5e-11, 3e-11)
+    )
+    return net
+
+
+def build_multi_source_mesh(n: int = 6) -> Netlist:
+    """Invertible-C mesh with three pulse sources (two sharing a shape)."""
+    net = Netlist("multi-source-mesh")
+    for i in range(n):
+        for j in range(n):
+            if j + 1 < n:
+                net.add_resistor(f"Rh{i}_{j}", f"n{i}_{j}", f"n{i}_{j + 1}", 2.0)
+            if i + 1 < n:
+                net.add_resistor(f"Rv{i}_{j}", f"n{i}_{j}", f"n{i + 1}_{j}", 2.0)
+            net.add_capacitor(f"C{i}_{j}", f"n{i}_{j}", "0", 1e-13 * (1 + i + j))
+    net.add_resistor("Rg", "n0_0", "0", 0.05)
+    net.add_current_source(
+        "I1", f"n{n - 1}_{n - 1}", "0",
+        Pulse(0.0, 5e-3, 1e-10, 5e-11, 2e-10, 5e-11),
+    )
+    net.add_current_source(
+        "I2", "n2_3", "0", Pulse(0.0, 3e-3, 2e-10, 3e-11, 1e-10, 4e-11)
+    )
+    net.add_current_source(
+        "I3", "n4_1", "0", Pulse(0.0, 2e-3, 1e-10, 5e-11, 2e-10, 5e-11)
+    )
+    return net
+
+
+@pytest.fixture
+def rc_ladder():
+    return build_rc_ladder()
+
+
+@pytest.fixture
+def rc_ladder_system(rc_ladder):
+    return assemble(rc_ladder)
+
+
+@pytest.fixture
+def small_pdn():
+    return build_small_pdn()
+
+
+@pytest.fixture
+def small_pdn_system(small_pdn):
+    return assemble(small_pdn)
+
+
+@pytest.fixture
+def mesh_system():
+    return assemble(build_multi_source_mesh())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20140601)  # DAC'14 started June 1st

@@ -1,0 +1,59 @@
+"""Unit tests for the LTE-controlled adaptive trapezoidal baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import simulate_adaptive_trapezoidal, simulate_trapezoidal
+from repro.analysis import error_metrics
+
+
+class TestAdaptiveTrapezoidal:
+    def test_accuracy_tracks_tolerance(self, mesh_system):
+        golden = simulate_trapezoidal(mesh_system, 5e-13, 1e-9,
+                                      x0=np.zeros(mesh_system.dim))
+        loose = simulate_adaptive_trapezoidal(
+            mesh_system, 1e-9, tol=1e-3, x0=np.zeros(mesh_system.dim))
+        tight = simulate_adaptive_trapezoidal(
+            mesh_system, 1e-9, tol=1e-7, x0=np.zeros(mesh_system.dim))
+        err_loose = error_metrics(loose, golden, times=golden.times)["max"]
+        err_tight = error_metrics(tight, golden, times=golden.times)["max"]
+        assert err_tight <= err_loose
+        assert err_tight < 1e-5
+
+    def test_tight_tolerance_takes_more_steps(self, mesh_system):
+        loose = simulate_adaptive_trapezoidal(
+            mesh_system, 1e-9, tol=1e-3, x0=np.zeros(mesh_system.dim))
+        tight = simulate_adaptive_trapezoidal(
+            mesh_system, 1e-9, tol=1e-8, x0=np.zeros(mesh_system.dim))
+        assert tight.stats.n_steps > loose.stats.n_steps
+
+    def test_counts_factorizations(self, mesh_system):
+        res = simulate_adaptive_trapezoidal(
+            mesh_system, 1e-9, tol=1e-6, x0=np.zeros(mesh_system.dim))
+        # The controller must have changed step size at least once.
+        assert res.stats.n_krylov_bases >= 2
+
+    def test_steps_land_on_transition_spots(self, mesh_system):
+        res = simulate_adaptive_trapezoidal(
+            mesh_system, 1e-9, tol=1e-4, x0=np.zeros(mesh_system.dim))
+        gts = mesh_system.global_transition_spots(1e-9)
+        accepted = set(np.round(res.times, 18))
+        for spot in gts:
+            assert any(abs(spot - t) <= 1e-9 * max(spot, 1e-30)
+                       for t in accepted), f"missed transition spot {spot}"
+
+    def test_reaches_horizon(self, mesh_system):
+        res = simulate_adaptive_trapezoidal(
+            mesh_system, 1e-9, tol=1e-5, x0=np.zeros(mesh_system.dim))
+        assert res.times[-1] == pytest.approx(1e-9)
+
+    def test_bounds_validation(self, mesh_system):
+        with pytest.raises(ValueError):
+            simulate_adaptive_trapezoidal(
+                mesh_system, 1e-9, h_init=1e-9, h_max=1e-11)
+
+    def test_factorization_budget(self, mesh_system):
+        with pytest.raises(RuntimeError, match="factorisations"):
+            simulate_adaptive_trapezoidal(
+                mesh_system, 1e-9, tol=1e-30,
+                x0=np.zeros(mesh_system.dim), max_factorizations=2)

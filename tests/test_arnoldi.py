@@ -1,0 +1,116 @@
+"""Unit tests for the Arnoldi process."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import ArnoldiBreakdown, arnoldi
+
+
+class TestArnoldiRelations:
+    def test_orthonormal_basis(self, rng):
+        a = rng.normal(size=(30, 30))
+        v = rng.normal(size=30)
+        res = arnoldi(lambda x: a @ x, v, m_max=12)
+        vtv = res.V.T @ res.V
+        assert np.allclose(vtv, np.eye(res.m + 1), atol=1e-12)
+
+    def test_arnoldi_identity(self, rng):
+        """A V_m = V_{m+1} H  (the fundamental recurrence)."""
+        a = rng.normal(size=(25, 25))
+        v = rng.normal(size=25)
+        res = arnoldi(lambda x: a @ x, v, m_max=10)
+        lhs = a @ res.Vm
+        rhs = res.V @ res.H
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_beta_is_start_norm(self, rng):
+        v = rng.normal(size=10)
+        res = arnoldi(lambda x: x, v, m_max=3)
+        assert res.beta == pytest.approx(np.linalg.norm(v))
+
+    def test_hessenberg_structure(self, rng):
+        a = rng.normal(size=(20, 20))
+        res = arnoldi(lambda x: a @ x, rng.normal(size=20), m_max=8)
+        h = res.H
+        for i in range(h.shape[0]):
+            for j in range(h.shape[1]):
+                if i > j + 1:
+                    assert h[i, j] == 0.0
+
+
+class TestBreakdown:
+    def test_happy_breakdown_on_invariant_subspace(self, rng):
+        # v is an eigenvector: the subspace is invariant after 1 step.
+        a = np.diag([1.0, 2.0, 3.0])
+        v = np.array([1.0, 0.0, 0.0])
+        res = arnoldi(lambda x: a @ x, v, m_max=3)
+        assert res.happy_breakdown
+        assert res.m == 1
+        assert res.converged
+
+    def test_low_rank_operator_breaks_down_early(self, rng):
+        u = rng.normal(size=15)
+        w = rng.normal(size=15)
+        a = np.outer(u, w)  # rank 1
+        res = arnoldi(lambda x: a @ x, rng.normal(size=15), m_max=10)
+        assert res.happy_breakdown
+        assert res.m <= 3
+
+    def test_small_scale_operator_not_mistaken_for_breakdown(self, rng):
+        # Operator with tiny norm (like G^-1 C on fast circuits) must not
+        # trigger a spurious happy breakdown.
+        a = 1e-14 * rng.normal(size=(20, 20))
+        res = arnoldi(lambda x: a @ x, rng.normal(size=20), m_max=8)
+        assert not res.happy_breakdown
+        assert res.m == 8
+
+    def test_zero_start_vector(self):
+        res = arnoldi(lambda x: x, np.zeros(5), m_max=3)
+        assert res.m == 0
+        assert res.beta == 0.0
+        assert res.converged
+
+    def test_nonfinite_operator_raises(self, rng):
+        def bad(x):
+            return np.full_like(x, np.nan)
+
+        with pytest.raises(ArnoldiBreakdown):
+            arnoldi(bad, rng.normal(size=5), m_max=3)
+
+
+class TestConvergenceControl:
+    def test_callback_stops_iteration(self, rng):
+        a = rng.normal(size=(30, 30))
+        calls = []
+
+        def stop_at_4(m, H, V, beta):
+            calls.append(m)
+            return m >= 4
+
+        res = arnoldi(lambda x: a @ x, rng.normal(size=30),
+                      m_max=20, convergence=stop_at_4)
+        assert res.m == 4
+        assert res.converged
+
+    def test_min_dim_defers_checks(self, rng):
+        a = rng.normal(size=(30, 30))
+        seen = []
+
+        def spy(m, H, V, beta):
+            seen.append(m)
+            return True
+
+        arnoldi(lambda x: a @ x, rng.normal(size=30),
+                m_max=20, convergence=spy, min_dim=5)
+        assert seen[0] == 5
+
+    def test_m_max_caps_dimension(self, rng):
+        a = rng.normal(size=(40, 40))
+        res = arnoldi(lambda x: a @ x, rng.normal(size=40),
+                      m_max=7, convergence=lambda *a: False)
+        assert res.m == 7
+        assert not res.converged
+
+    def test_m_max_validation(self, rng):
+        with pytest.raises(ValueError):
+            arnoldi(lambda x: x, rng.normal(size=5), m_max=0)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import format_netlist
+from repro.cli import main
+
+
+@pytest.fixture
+def deck(tmp_path, small_pdn):
+    path = tmp_path / "grid.spice"
+    path.write_text(format_netlist(small_pdn, t_end=1e-9))
+    return path
+
+
+class TestInfo:
+    def test_prints_summary(self, deck, capsys):
+        assert main(["info", str(deck), "--t-end", "1n"]) == 0
+        out = capsys.readouterr().out
+        assert "C singular: True" in out
+        assert "transition spots" in out
+        assert "bump groups" in out
+
+
+class TestDc:
+    def test_prints_rails(self, deck, capsys):
+        assert main(["dc", str(deck), "--nodes", "pad"]) == 0
+        out = capsys.readouterr().out
+        assert "pad: 1.8" in out
+
+
+class TestSimulate:
+    def test_csv_export(self, deck, tmp_path, capsys):
+        out = tmp_path / "waves.csv"
+        code = main([
+            "simulate", str(deck), "--t-end", "1n",
+            "--nodes", "g0_0", "g3_3", "--out", str(out),
+        ])
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "time,g0_0,g3_3"
+        assert len(lines) > 3
+        first = [float(x) for x in lines[1].split(",")]
+        assert first[0] == 0.0
+        assert first[1] == pytest.approx(1.8, abs=0.05)  # near VDD at DC
+
+    def test_npz_export(self, deck, tmp_path):
+        out = tmp_path / "waves.npz"
+        assert main(["simulate", str(deck), "--t-end", "1n",
+                     "--out", str(out)]) == 0
+        data = np.load(out)
+        assert data["states"].shape[0] == data["times"].shape[0]
+        assert "g0_0" in list(data["node_names"])
+
+    def test_distributed_flag(self, deck, capsys):
+        assert main(["simulate", str(deck), "--t-end", "1n",
+                     "--distributed"]) == 0
+        assert "distributed:" in capsys.readouterr().out
+
+    def test_droop_report(self, deck, capsys):
+        assert main(["simulate", str(deck), "--t-end", "1n",
+                     "--vdd", "1.8"]) == 0
+        assert "worst droop" in capsys.readouterr().out
+
+    def test_spice_suffix_times(self, deck, capsys):
+        assert main(["simulate", str(deck), "--t-end", "500p",
+                     "--method", "imatex"]) == 0
+
+    def test_bad_output_format(self, deck, tmp_path):
+        with pytest.raises(ValueError, match="unsupported output"):
+            main(["simulate", str(deck), "--t-end", "1n",
+                  "--out", str(tmp_path / "waves.xlsx")])
+
+    def test_distributed_csv_matches_single(self, deck, tmp_path):
+        single = tmp_path / "s.csv"
+        dist = tmp_path / "d.csv"
+        main(["simulate", str(deck), "--t-end", "1n",
+              "--nodes", "g2_2", "--out", str(single)])
+        main(["simulate", str(deck), "--t-end", "1n", "--distributed",
+              "--nodes", "g2_2", "--out", str(dist)])
+        a = np.loadtxt(single, delimiter=",", skiprows=1)
+        b = np.loadtxt(dist, delimiter=",", skiprows=1)
+        assert np.allclose(a, b, atol=1e-6)

@@ -1,0 +1,81 @@
+"""Unit tests for bump-shape source decomposition (paper Fig. 3)."""
+
+import pytest
+
+from repro.circuit import DC, Netlist, PWL, Pulse, assemble
+from repro.core import decompose_by_bump, decompose_by_source, merge_to_limit
+
+
+@pytest.fixture
+def mixed_system():
+    """Two shared-shape pulses, one distinct pulse, a PWL, DC sources."""
+    net = Netlist("mixed")
+    for i in range(5):
+        net.add_resistor(f"R{i}", f"n{i}" if i else "0", f"n{i + 1}", 1.0)
+        net.add_capacitor(f"C{i}", f"n{i + 1}", "0", 1e-13)
+    shape = dict(t_delay=1e-10, t_rise=2e-11, t_width=1e-10, t_fall=2e-11)
+    net.add_current_source("Ia", "n1", "0", Pulse(0.0, 1e-3, **shape))
+    net.add_current_source("Ib", "n2", "0", Pulse(0.0, 9e-4, **shape))
+    net.add_current_source("Ic", "n3", "0",
+                           Pulse(0.0, 1e-3, 3e-10, 2e-11, 5e-11, 2e-11))
+    net.add_current_source("Id", "n4", "0", PWL([(0.0, 0.0), (1e-10, 1e-3)]))
+    net.add_current_source("Ie", "n5", "0", DC(5e-4))
+    net.add_voltage_source("V1", "vs", "0", 1.0)
+    net.add_resistor("Rv", "vs", "n1", 0.1)
+    return assemble(net)
+
+
+class TestBumpDecomposition:
+    def test_same_shape_grouped(self, mixed_system):
+        groups = decompose_by_bump(mixed_system)
+        by_size = sorted(len(g) for g in groups)
+        assert by_size == [1, 1, 2]  # {Ia, Ib}, {Ic}, {Id}
+
+    def test_amplitude_does_not_affect_grouping(self, mixed_system):
+        groups = decompose_by_bump(mixed_system)
+        pair = next(g for g in groups if len(g) == 2)
+        assert set(pair.input_columns) == {0, 1}
+
+    def test_constant_inputs_excluded(self, mixed_system):
+        groups = decompose_by_bump(mixed_system)
+        grouped = {k for g in groups for k in g.input_columns}
+        assert 4 not in grouped  # the DC current source
+        assert 5 not in grouped  # the DC voltage source
+
+    def test_group_ids_dense(self, mixed_system):
+        groups = decompose_by_bump(mixed_system)
+        assert [g.group_id for g in groups] == list(range(len(groups)))
+
+    def test_labels_describe_shape(self, mixed_system):
+        groups = decompose_by_bump(mixed_system)
+        pair = next(g for g in groups if len(g) == 2)
+        assert "bump" in pair.label
+
+
+class TestSourceDecomposition:
+    def test_one_group_per_varying_input(self, mixed_system):
+        groups = decompose_by_source(mixed_system)
+        assert len(groups) == 4
+        assert all(len(g) == 1 for g in groups)
+
+
+class TestMergeToLimit:
+    def test_no_merge_when_under_limit(self, mixed_system):
+        groups = decompose_by_bump(mixed_system)
+        assert merge_to_limit(groups, 10) == groups
+
+    def test_merge_covers_all_columns(self, mixed_system):
+        groups = decompose_by_source(mixed_system)
+        merged = merge_to_limit(groups, 2)
+        assert len(merged) == 2
+        original = {k for g in groups for k in g.input_columns}
+        after = {k for g in merged for k in g.input_columns}
+        assert original == after
+
+    def test_merge_to_one(self, mixed_system):
+        merged = merge_to_limit(decompose_by_source(mixed_system), 1)
+        assert len(merged) == 1
+
+    def test_limit_validation(self, mixed_system):
+        with pytest.raises(ValueError):
+            merge_to_limit(decompose_by_source(mixed_system), 0)

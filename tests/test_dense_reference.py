@@ -1,0 +1,70 @@
+"""Unit tests for the dense ETD oracle."""
+
+import numpy as np
+import pytest
+from scipy.integrate import solve_ivp
+
+from repro.linalg import dense_a_matrix, etd_exact_step, exact_transient
+
+
+class TestEtdExactStep:
+    def test_matches_ode_integrator(self, rc_ladder_system, rng):
+        s = rc_ladder_system
+        a = dense_a_matrix(s.C, s.G)
+        x = rng.normal(size=s.dim)
+        b0 = rng.normal(size=s.dim)
+        slope = rng.normal(size=s.dim)
+        h = 1e-11
+        ours = etd_exact_step(a, x, b0, slope, h)
+        sol = solve_ivp(lambda t, y: a @ y + b0 + slope * t, (0, h), x,
+                        rtol=1e-12, atol=1e-18)
+        assert np.allclose(ours, sol.y[:, -1], rtol=1e-8, atol=1e-12)
+
+    def test_zero_input_is_pure_exponential(self, rc_ladder_system, rng):
+        import scipy.linalg as sla
+
+        s = rc_ladder_system
+        a = dense_a_matrix(s.C, s.G)
+        x = rng.normal(size=s.dim)
+        h = 1e-11
+        z = np.zeros(s.dim)
+        assert np.allclose(etd_exact_step(a, x, z, z, h),
+                           sla.expm(h * a) @ x)
+
+    def test_equilibrium_is_fixed_point(self, rc_ladder_system):
+        """x = -A^{-1}b is stationary under constant input b."""
+        s = rc_ladder_system
+        a = dense_a_matrix(s.C, s.G)
+        b = np.ones(s.dim)
+        x_eq = -np.linalg.solve(a, b)
+        z = np.zeros(s.dim)
+        out = etd_exact_step(a, x_eq, b, z, 1e-10)
+        assert np.allclose(out, x_eq, rtol=1e-9)
+
+
+class TestExactTransient:
+    def test_includes_gts_points(self, mesh_system):
+        times, X = exact_transient(mesh_system, np.zeros(mesh_system.dim),
+                                   1e-9)
+        gts = mesh_system.global_transition_spots(1e-9)
+        assert len(times) == len(gts)
+        assert X.shape == (len(gts), mesh_system.dim)
+
+    def test_extra_times_merged(self, mesh_system):
+        times, _ = exact_transient(mesh_system, np.zeros(mesh_system.dim),
+                                   1e-9, extra_times=[3.33e-10])
+        assert np.any(np.isclose(times, 3.33e-10))
+
+    def test_active_subset_zeroes_other_sources(self, mesh_system):
+        t_end = 1e-9
+        _, X_all = exact_transient(mesh_system, np.zeros(mesh_system.dim),
+                                   t_end)
+        times0, X0 = exact_transient(mesh_system, np.zeros(mesh_system.dim),
+                                     t_end, active=[0])
+        # Driving only source 0 is not the full response.
+        assert not np.allclose(X0[-1], X_all[-1])
+
+    def test_singular_c_rejected(self, small_pdn_system):
+        with pytest.raises(np.linalg.LinAlgError):
+            exact_transient(small_pdn_system,
+                            np.zeros(small_pdn_system.dim), 1e-9)

@@ -1,0 +1,29 @@
+"""Smoke tests: the fast example scripts must run clean end-to-end.
+
+The heavier demos (distributed_pdn, rlc_package, periodic_workload,
+adaptive_stepping) are exercised through the same code paths by the
+integration tests and benchmarks; here we pin the quick ones as runnable
+documentation.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "ibm_netlist_io.py",
+    "stiff_circuit_comparison.py",
+])
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "example produced no output"

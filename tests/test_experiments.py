@@ -1,0 +1,110 @@
+"""Smoke + shape tests for the experiment drivers (scaled-down configs).
+
+The full configurations run in benchmarks/; here each driver runs on a
+tiny instance and the *shape* assertions of the paper are checked:
+MEXP's basis bigger than I-/R-MATEX's, Fig. 5's error-vs-h decrease,
+distributed beating fixed-step TR, etc.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.gamma_ablation import run_gamma_ablation
+from repro.experiments.runner import main as runner_main
+from repro.experiments.speedup_model import fit_model_constants
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        _, rows = run_table1(
+            rows=10, cols=10, m_max=150,
+            levels=[("low", 8.0, 1e3), ("high", 40.0, 1e8)],
+        )
+        return rows
+
+    def test_all_methods_accurate(self, rows):
+        assert all(r.err_pct < 1.0 for r in rows)
+
+    def test_mexp_needs_bigger_basis(self, rows):
+        by = {(r.level, r.method): r for r in rows}
+        for level in ("low", "high"):
+            assert by[(level, "standard")].ma > by[(level, "inverted")].ma
+            assert by[(level, "standard")].ma > by[(level, "rational")].ma
+
+    def test_mexp_basis_grows_with_stiffness(self, rows):
+        by = {(r.level, r.method): r for r in rows}
+        assert by[("high", "standard")].mp > by[("low", "standard")].mp
+
+    def test_speedups_positive(self, rows):
+        assert all(r.speedup_vs_mexp > 0 for r in rows)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def points(self):
+        _, points = run_fig5(rows=6, cols=6, dims=[4, 8],
+                             steps=[1e-12, 1e-11, 1e-10])
+        return points
+
+    def test_error_decreases_with_h(self, points):
+        """The paper's Fig. 5 observation, for each fixed m."""
+        for m in {p.m for p in points}:
+            errs = [p.error for p in points if p.m == m]
+            assert errs[-1] < errs[0]
+
+    def test_error_decreases_with_m(self, points):
+        by_h = {}
+        for p in points:
+            by_h.setdefault(p.h, {})[p.m] = p.error
+        for h, d in by_h.items():
+            ms = sorted(d)
+            assert d[ms[-1]] <= d[ms[0]]
+
+
+class TestTable3Shape:
+    def test_distributed_beats_fixed_tr(self):
+        _, rows = run_table3(cases=["pg1t"], golden_h=None)
+        row = rows[0]
+        assert row.n_groups == 100
+        assert row.spdp4 > 2.0          # transient-part speedup
+        assert row.max_err < 1e-3       # agrees with the TR baseline
+        assert row.avg_node_pairs < 100  # ~60 pairs/node in the paper
+
+
+class TestTable2Shape:
+    def test_matex_beats_adaptive_tr_on_pg4t(self):
+        # pg4t: few transition spots — the paper's best case.
+        _, rows = run_table2(cases=["pg4t"])
+        row = rows[0]
+        assert row.spdp2 > 1.0
+        assert row.tr_adaptive_factorizations > 2
+
+
+class TestAncillary:
+    def test_speedup_model_constants_positive(self):
+        from repro.pdn import build_case
+
+        system, _ = build_case("pg1t")
+        model = fit_model_constants(system, n_probe=5)
+        assert model.t_bs > 0.0
+        assert model.t_he > 0.0
+
+    def test_gamma_ablation_flat_near_step_scale(self):
+        _, samples = run_gamma_ablation(
+            case="pg1t", gammas=[1e-11, 1e-10, 1e-9], golden_h=2e-12,
+        )
+        errs = [s.max_err for s in samples]
+        dims = [s.mp for s in samples]
+        # Within ±1 decade of the step scale, accuracy stays good and
+        # basis sizes stay small — the paper's insensitivity claim.
+        assert max(errs) < 1e-3
+        assert max(dims) <= 4 * min(dims) + 4
+
+    def test_runner_cli(self, capsys):
+        assert runner_main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out

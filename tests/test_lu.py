@@ -1,0 +1,57 @@
+"""Unit tests for the counting sparse-LU wrapper."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import FactorizationError, SparseLU
+
+
+@pytest.fixture
+def spd_matrix(rng):
+    a = rng.normal(size=(12, 12))
+    return sp.csc_matrix(a @ a.T + 12 * np.eye(12))
+
+
+class TestSolve:
+    def test_solution_correct(self, spd_matrix, rng):
+        lu = SparseLU(spd_matrix, label="test")
+        b = rng.normal(size=12)
+        x = lu.solve(b)
+        assert np.allclose(spd_matrix @ x, b)
+
+    def test_solve_many_block(self, spd_matrix, rng):
+        lu = SparseLU(spd_matrix)
+        b = rng.normal(size=(12, 4))
+        x = lu.solve_many(b)
+        assert np.allclose(spd_matrix @ x, b)
+
+    def test_counter_increments(self, spd_matrix, rng):
+        lu = SparseLU(spd_matrix)
+        for k in range(3):
+            lu.solve(rng.normal(size=12))
+        assert lu.n_solves == 3
+        lu.solve_many(rng.normal(size=(12, 5)))
+        assert lu.n_solves == 8
+        lu.reset_counters()
+        assert lu.n_solves == 0
+
+    def test_factor_time_recorded(self, spd_matrix):
+        lu = SparseLU(spd_matrix)
+        assert lu.factor_seconds >= 0.0
+
+
+class TestValidation:
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            SparseLU(sp.csc_matrix(np.ones((2, 3))))
+
+    def test_structurally_singular_raises(self):
+        m = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(FactorizationError):
+            SparseLU(m, label="singular")
+
+    def test_label_in_error_message(self):
+        m = sp.csc_matrix(np.zeros((2, 2)))
+        with pytest.raises(FactorizationError, match="myC"):
+            SparseLU(m, label="myC")

@@ -1,0 +1,157 @@
+"""Unit tests for MNA assembly: stamps checked against hand calculations."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Netlist, assemble
+
+
+def dense(m):
+    return np.asarray(m.todense())
+
+
+class TestResistorCapacitorStamps:
+    def test_two_node_divider(self):
+        # 0 --R1-- a --R2-- b --R3-- 0, C at each node.
+        net = Netlist()
+        net.add_resistor("R1", "0", "a", 2.0)
+        net.add_resistor("R2", "a", "b", 4.0)
+        net.add_resistor("R3", "b", "0", 8.0)
+        net.add_capacitor("Ca", "a", "0", 1e-12)
+        net.add_capacitor("Cb", "b", "0", 2e-12)
+        sys_ = assemble(net)
+        g = dense(sys_.G)
+        expected_g = np.array([
+            [0.5 + 0.25, -0.25],
+            [-0.25, 0.25 + 0.125],
+        ])
+        assert np.allclose(g, expected_g)
+        c = dense(sys_.C)
+        assert np.allclose(c, np.diag([1e-12, 2e-12]))
+
+    def test_floating_capacitor_stamp(self):
+        net = Netlist()
+        net.add_resistor("R1", "a", "0", 1.0)
+        net.add_resistor("R2", "b", "0", 1.0)
+        net.add_capacitor("C1", "a", "b", 3e-12)
+        sys_ = assemble(net)
+        c = dense(sys_.C)
+        assert np.allclose(c, 3e-12 * np.array([[1, -1], [-1, 1]]))
+
+    def test_g_symmetric_for_rc_only(self, rc_ladder_system):
+        g = dense(rc_ladder_system.G)
+        assert np.allclose(g, g.T)
+
+
+class TestSourceStamps:
+    def test_voltage_source_rows(self):
+        net = Netlist()
+        net.add_voltage_source("V1", "a", "0", 1.5)
+        net.add_resistor("R1", "a", "0", 3.0)
+        sys_ = assemble(net)
+        g = dense(sys_.G)
+        # Row/col layout: [v_a, i_V1].
+        assert g[0, 1] == 1.0      # KCL coupling
+        assert g[1, 0] == 1.0      # branch equation
+        assert sys_.bu(0.0)[1] == 1.5
+        # DC solve: G x = B u gives v_a = 1.5.
+        x = np.linalg.solve(g, sys_.bu(0.0))
+        assert x[0] == pytest.approx(1.5)
+        assert x[1] == pytest.approx(-0.5)  # source supplies 0.5 A
+
+    def test_current_source_sign_convention(self):
+        # I from node a to ground: positive value pulls a DOWN.
+        net = Netlist()
+        net.add_resistor("R1", "a", "0", 2.0)
+        net.add_current_source("I1", "a", "0", 1.0)
+        sys_ = assemble(net)
+        x = np.linalg.solve(dense(sys_.G), sys_.bu(0.0))
+        assert x[0] == pytest.approx(-2.0)
+
+    def test_inductor_branch(self):
+        net = Netlist()
+        net.add_voltage_source("V1", "a", "0", 1.0)
+        net.add_inductor("L1", "a", "b", 1e-9)
+        net.add_resistor("R1", "b", "0", 5.0)
+        sys_ = assemble(net)
+        # At DC the inductor is a short: v_b = 1.0, i_L = 0.2.
+        x = np.linalg.solve(dense(sys_.G), sys_.bu(0.0))
+        names = sys_.netlist
+        assert x[names.node_index("b")] == pytest.approx(1.0)
+        assert x[names.inductor_index("L1")] == pytest.approx(0.2)
+        # The inductance appears in C on the branch row.
+        c = dense(sys_.C)
+        row = names.inductor_index("L1")
+        assert c[row, row] == pytest.approx(-1e-9)
+
+    def test_input_ordering_currents_then_voltages(self, small_pdn_system):
+        s = small_pdn_system
+        assert s.n_current_inputs == 2
+        assert list(s.current_input_indices) == [0, 1]
+        assert list(s.voltage_input_indices) == [2]
+
+
+class TestInputEvaluation:
+    def test_fast_vector_matches_scalar(self, small_pdn_system):
+        s = small_pdn_system
+        for t in [0.0, 1.3e-10, 2.5e-10, 7e-10]:
+            fast = s.input_vector(t)
+            slow = np.array([w.value(t) for w in s.waveforms])
+            assert np.allclose(fast, slow)
+
+    def test_active_subset(self, small_pdn_system):
+        s = small_pdn_system
+        u = s.input_vector(2e-10, active=[0])
+        assert u[1] == 0.0 and u[2] == 0.0
+        assert u[0] == s.waveforms[0].value(2e-10)
+
+    def test_b_slope_fd_exact_on_linear_segment(self, small_pdn_system):
+        s = small_pdn_system
+        # Inside the rise of I0: [1e-10, 1.2e-10].
+        fd = s.b_slope_fd(1.05e-10, 1.15e-10)
+        analytic = s.b_slope(1.05e-10)
+        assert np.allclose(fd, analytic)
+
+    def test_b_slope_fd_rejects_bad_interval(self, small_pdn_system):
+        with pytest.raises(ValueError):
+            small_pdn_system.b_slope_fd(1e-10, 1e-10)
+
+    def test_bu_series_matches_pointwise(self, small_pdn_system):
+        s = small_pdn_system
+        times = np.array([0.0, 1.1e-10, 2.2e-10, 5e-10])
+        series = s.bu_series(times)
+        for k, t in enumerate(times):
+            assert np.allclose(series[:, k], s.bu(t))
+
+    def test_bu_series_active_subset(self, small_pdn_system):
+        s = small_pdn_system
+        times = np.array([1.5e-10, 3e-10])
+        series = s.bu_series(times, active=[1])
+        for k, t in enumerate(times):
+            assert np.allclose(series[:, k], s.bu(t, active=[1]))
+
+
+class TestStructure:
+    def test_singularity_detection(self, small_pdn_system, rc_ladder_system):
+        assert small_pdn_system.is_c_singular()      # V-source branch row
+        assert not rc_ladder_system.is_c_singular()  # caps everywhere
+
+    def test_gts_includes_horizon(self, small_pdn_system):
+        gts = small_pdn_system.global_transition_spots(1e-9)
+        assert gts[0] == 0.0
+        assert gts[-1] == 1e-9
+
+    def test_gts_union_of_lts(self, small_pdn_system):
+        s = small_pdn_system
+        gts = set(s.global_transition_spots(1e-9))
+        for k in range(s.n_inputs):
+            for t in s.local_transition_spots(k, 1e-9):
+                assert any(abs(t - g) <= 1e-18 + 1e-9 * g for g in gts)
+
+    def test_node_voltage_lookup(self, small_pdn_system):
+        s = small_pdn_system
+        x = np.arange(s.dim, dtype=float)
+        assert s.node_voltage(x, "g0_0") == x[s.netlist.node_index("g0_0")]
+        assert s.node_voltage(x, "0") == 0.0
+        volts = s.node_voltages(x)
+        assert volts["pad"] == x[s.netlist.node_index("pad")]

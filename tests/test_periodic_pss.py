@@ -1,0 +1,81 @@
+"""Tests for the periodic-steady-state extension."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Netlist, Pulse, assemble
+from repro.core import MatexSolver, SolverOptions
+from repro.extensions import (
+    check_input_periodicity,
+    periodic_steady_state,
+)
+
+PERIOD = 5e-10
+
+
+@pytest.fixture
+def clocked_system():
+    """Small RC grid under two periodic clock loads."""
+    net = Netlist("clocked")
+    for i in range(4):
+        for j in range(4):
+            if j + 1 < 4:
+                net.add_resistor(f"Rh{i}{j}", f"c{i}_{j}", f"c{i}_{j + 1}", 1.0)
+            if i + 1 < 4:
+                net.add_resistor(f"Rv{i}{j}", f"c{i}_{j}", f"c{i + 1}_{j}", 1.0)
+            net.add_capacitor(f"C{i}{j}", f"c{i}_{j}", "0", 3e-13)
+    net.add_resistor("Rg", "c0_0", "0", 0.1)
+    net.add_current_source(
+        "I0", "c3_3", "0",
+        Pulse(0.0, 2e-3, 5e-11, 1e-11, 1e-10, 1e-11, t_period=PERIOD),
+    )
+    net.add_current_source(
+        "I1", "c1_2", "0",
+        Pulse(0.0, 1e-3, 2e-10, 1e-11, 5e-11, 1e-11, t_period=PERIOD),
+    )
+    return assemble(net)
+
+
+class TestPeriodicityCheck:
+    def test_accepts_true_period(self, clocked_system):
+        assert check_input_periodicity(clocked_system, PERIOD)
+        assert check_input_periodicity(clocked_system, 2 * PERIOD)
+
+    def test_rejects_wrong_period(self, clocked_system):
+        assert not check_input_periodicity(clocked_system, 0.7 * PERIOD)
+
+    def test_dc_inputs_always_pass(self, rc_ladder_system):
+        # The ladder's pulse is NOT periodic -> fails; a DC-only netlist
+        # would pass for any period (constants skipped).
+        assert not check_input_periodicity(rc_ladder_system, 1e-10)
+
+
+class TestPeriodicSteadyState:
+    def test_fixed_point_property(self, clocked_system):
+        pss = periodic_steady_state(clocked_system, PERIOD, tol=1e-10)
+        scale = max(1.0, float(np.abs(pss.state).max()))
+        assert pss.residual < 1e-7 * scale
+
+    def test_long_transient_converges_to_pss(self, clocked_system):
+        pss = periodic_steady_state(clocked_system, PERIOD, tol=1e-10)
+        solver = MatexSolver(
+            clocked_system,
+            SolverOptions(method="rational", gamma=5e-12, eps_rel=1e-10),
+        )
+        x = np.zeros(clocked_system.dim)
+        for _ in range(12):  # march 12 periods from rest
+            x = solver.simulate(PERIOD, x0=x).final_state
+        assert np.max(np.abs(x - pss.state)) < 1e-6
+
+    def test_wrong_period_rejected(self, clocked_system):
+        with pytest.raises(ValueError, match="not periodic"):
+            periodic_steady_state(clocked_system, 0.7 * PERIOD)
+
+    def test_period_validation(self, clocked_system):
+        with pytest.raises(ValueError, match="positive"):
+            periodic_steady_state(clocked_system, -1.0)
+
+    def test_iteration_count_reported(self, clocked_system):
+        pss = periodic_steady_state(clocked_system, PERIOD)
+        assert pss.gmres_iterations >= 1
+        assert pss.period == PERIOD

@@ -1,0 +1,72 @@
+"""Property-based tests for the linear-algebra kernels (hypothesis)."""
+
+import numpy as np
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.linalg import arnoldi, expm
+
+# Small well-scaled random matrices.
+square = st.integers(min_value=1, max_value=10).flatmap(
+    lambda n: hnp.arrays(
+        np.float64, (n, n),
+        elements=st.floats(-3.0, 3.0, allow_nan=False),
+    )
+)
+
+
+@given(a=square)
+@settings(max_examples=60)
+def test_expm_matches_scipy(a):
+    assert np.allclose(expm(a), sla.expm(a), rtol=1e-9, atol=1e-10)
+
+
+@given(a=square)
+@settings(max_examples=40)
+def test_expm_inverse_identity(a):
+    """exp(A) · exp(−A) = I (up to conditioning of the exponential)."""
+    prod = expm(a) @ expm(-a)
+    kappa = max(1.0, float(np.abs(expm(a)).max() * np.abs(expm(-a)).max()))
+    assert np.allclose(prod, np.eye(a.shape[0]), atol=1e-12 * kappa + 1e-9)
+
+
+@given(a=square)
+@settings(max_examples=40)
+def test_expm_determinant_is_exp_trace(a):
+    """Jacobi's formula: log det exp(A) = tr(A) (stable in log space)."""
+    sign, logdet = np.linalg.slogdet(expm(a))
+    assert sign > 0
+    assert np.isclose(logdet, np.trace(a), rtol=1e-6, atol=1e-6)
+
+
+@given(a=square, s=st.floats(0.1, 2.0))
+@settings(max_examples=40)
+def test_expm_semigroup_on_commuting_scalings(a, s):
+    """exp((1+s)A) = exp(A) · exp(sA) (A commutes with itself)."""
+    lhs = expm((1.0 + s) * a)
+    rhs = expm(a) @ expm(s * a)
+    scale = max(1.0, np.abs(lhs).max())
+    assert np.allclose(lhs, rhs, rtol=1e-7, atol=1e-8 * scale)
+
+
+@given(
+    n=st.integers(min_value=3, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40)
+def test_arnoldi_orthonormality_and_recurrence(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    v = rng.normal(size=n)
+    if np.linalg.norm(v) < 1e-12:
+        return
+    m_max = min(6, n)
+    res = arnoldi(lambda x: a @ x, v, m_max=m_max)
+    # On happy breakdown the extra column v_{m+1} is zero by design, so
+    # only the first m columns are orthonormal.
+    block = res.Vm if res.happy_breakdown else res.V
+    assert np.allclose(block.T @ block, np.eye(block.shape[1]), atol=1e-10)
+    scale = max(1.0, float(np.abs(a).max()))
+    assert np.allclose(a @ res.Vm, res.V @ res.H, atol=1e-8 * scale)

@@ -1,0 +1,72 @@
+"""Property-based round-trip tests for netlist I/O (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Netlist, Pulse, assemble, format_netlist, parse_netlist
+from repro.circuit.parser import parse_value
+
+finite_pos = st.floats(1e-15, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(x=finite_pos)
+def test_parse_value_repr_roundtrip(x):
+    """Any positive float printed with repr() must parse back exactly."""
+    assert parse_value(repr(x)) == x
+
+
+@given(
+    base=st.floats(0.1, 999.0),
+    suffix=st.sampled_from(["", "k", "m", "u", "n", "p", "f", "meg", "g"]),
+)
+def test_parse_value_suffix_scaling(base, suffix):
+    mult = {"": 1.0, "k": 1e3, "m": 1e-3, "u": 1e-6, "n": 1e-9,
+            "p": 1e-12, "f": 1e-15, "meg": 1e6, "g": 1e9}[suffix]
+    got = parse_value(f"{base!r}{suffix}")
+    assert got == base * mult
+
+
+@st.composite
+def random_netlist(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    net = Netlist("prop")
+    for i in range(n):
+        parent = "0" if i == 0 else f"q{draw(st.integers(0, i - 1))}"
+        net.add_resistor(f"R{i}", parent, f"q{i}",
+                         draw(st.floats(0.01, 1e4)))
+        net.add_capacitor(f"C{i}", f"q{i}", "0",
+                          draw(st.floats(1e-15, 1e-9)))
+    if draw(st.booleans()):
+        net.add_voltage_source("V0", "vp", "0", draw(st.floats(0.5, 5.0)))
+        net.add_resistor("Rvp", "vp", "q0", draw(st.floats(0.01, 10.0)))
+    delay = draw(st.floats(0.0, 1e-9))
+    net.add_current_source(
+        "I0", f"q{n - 1}", "0",
+        Pulse(0.0, draw(st.floats(1e-5, 1e-2)), delay,
+              draw(st.floats(1e-12, 1e-10)),
+              draw(st.floats(0.0, 1e-9)),
+              draw(st.floats(1e-12, 1e-10))),
+    )
+    return net
+
+
+@given(net=random_netlist())
+@settings(max_examples=25, deadline=None)
+def test_netlist_roundtrip_preserves_matrices(net):
+    reparsed = parse_netlist(format_netlist(net))
+    a = assemble(net)
+    b = assemble(reparsed)
+    assert np.array_equal(a.G.todense(), b.G.todense())
+    assert np.array_equal(a.C.todense(), b.C.todense())
+    assert np.array_equal(a.B.todense(), b.B.todense())
+
+
+@given(net=random_netlist(), t=st.floats(0.0, 2e-9))
+@settings(max_examples=25, deadline=None)
+def test_netlist_roundtrip_preserves_inputs(net, t):
+    reparsed = parse_netlist(format_netlist(net))
+    a = assemble(net)
+    b = assemble(reparsed)
+    assert np.allclose(a.input_vector(t), b.input_vector(t),
+                       rtol=1e-15, atol=0.0)

@@ -1,0 +1,111 @@
+"""Property-based tests on system-level invariants (hypothesis).
+
+The heart of MATEX is linear-system superposition; these tests verify it
+on randomly generated RC circuits and inputs, plus structural MNA
+invariants that must hold for any generated topology.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Netlist, Pulse, assemble
+from repro.core import MatexSolver, SolverOptions
+from repro.linalg import exact_transient
+
+
+@st.composite
+def random_rc_circuit(draw):
+    """Small random RC ladder/tree with 2 pulse sources."""
+    n = draw(st.integers(min_value=3, max_value=8))
+    net = Netlist("prop-rc")
+    for i in range(n):
+        parent = "0" if i == 0 else f"p{draw(st.integers(0, i - 1))}"
+        r = draw(st.floats(0.5, 5.0))
+        c = draw(st.floats(5e-14, 5e-13))
+        net.add_resistor(f"R{i}", parent, f"p{i}", r)
+        net.add_capacitor(f"C{i}", f"p{i}", "0", c)
+    for k in range(2):
+        node = f"p{draw(st.integers(0, n - 1))}"
+        peak = draw(st.floats(1e-4, 5e-3))
+        delay = draw(st.floats(5e-11, 3e-10))
+        net.add_current_source(
+            f"I{k}", node, "0",
+            Pulse(0.0, peak, delay, 2e-11, 1e-10, 2e-11),
+        )
+    return net
+
+
+@given(net=random_rc_circuit())
+@settings(max_examples=15, deadline=None)
+def test_superposition_of_sources(net):
+    """response(u0 + u1) == response(u0) + response(u1), zero IC."""
+    system = assemble(net)
+    t_end = 8e-10
+    x0 = np.zeros(system.dim)
+    gts = system.global_transition_spots(t_end)
+    _, full = exact_transient(system, x0, t_end, extra_times=gts)
+    _, part0 = exact_transient(system, x0, t_end, active=[0], extra_times=gts)
+    _, part1 = exact_transient(system, x0, t_end, active=[1], extra_times=gts)
+    scale = max(1.0, np.abs(full).max())
+    assert np.allclose(part0 + part1, full, atol=1e-8 * scale)
+
+
+@given(net=random_rc_circuit())
+@settings(max_examples=10, deadline=None)
+def test_matex_matches_oracle_on_random_circuits(net):
+    system = assemble(net)
+    t_end = 8e-10
+    x0 = np.zeros(system.dim)
+    times, X = exact_transient(system, x0, t_end)
+    solver = MatexSolver(
+        system, SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-9)
+    )
+    res = solver.simulate(t_end, x0=x0)
+    scale = max(np.abs(X).max(), 1e-6)
+    assert np.max(np.abs(res.states - X)) < 1e-5 * scale + 1e-12
+
+
+@given(net=random_rc_circuit())
+@settings(max_examples=15, deadline=None)
+def test_mna_structural_invariants(net):
+    system = assemble(net)
+    g = np.asarray(system.G.todense())
+    c = np.asarray(system.C.todense())
+    # RC-only MNA: both matrices symmetric, G PD (grounded), C PSD.
+    assert np.allclose(g, g.T)
+    assert np.allclose(c, c.T)
+    eig_g = np.linalg.eigvalsh(g)
+    eig_c = np.linalg.eigvalsh(c)
+    assert eig_g.min() > 0.0
+    assert eig_c.min() >= -1e-25
+
+
+@given(
+    net=random_rc_circuit(),
+    scale=st.floats(0.25, 4.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_response_scales_linearly(net, scale):
+    """Scaling every input by a scales the zero-IC response by a."""
+    system = assemble(net)
+    t_end = 8e-10
+    x0 = np.zeros(system.dim)
+    _, base = exact_transient(system, x0, t_end)
+
+    scaled_net = Netlist("scaled")
+    for r in net.resistors:
+        scaled_net.add_resistor(r.name, r.pos, r.neg, r.resistance)
+    for cp in net.capacitors:
+        scaled_net.add_capacitor(cp.name, cp.pos, cp.neg, cp.capacitance)
+    for i in net.current_sources:
+        w = i.waveform
+        scaled_net.add_current_source(
+            i.name, i.pos, i.neg,
+            Pulse(w.v1 * scale, w.v2 * scale, w.t_delay, w.t_rise,
+                  w.t_width, w.t_fall),
+        )
+    scaled_system = assemble(scaled_net)
+    _, scaled = exact_transient(scaled_system, x0, t_end)
+    tol = 1e-9 * max(1.0, np.abs(scaled).max())
+    assert np.allclose(scaled, scale * base, atol=tol)

@@ -1,0 +1,70 @@
+"""Unit tests for superposition recombination (paper Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MatexSolver,
+    SolverOptions,
+    TransientResult,
+    build_schedule,
+    superpose,
+)
+from repro.core.stats import SolverStats
+from repro.linalg import exact_transient
+
+
+def _node_results(system, t_end, groups, opts):
+    gts = system.global_transition_spots(t_end)
+    results = []
+    for cols in groups:
+        sched = build_schedule(system, t_end, local_inputs=cols,
+                               global_points=gts)
+        solver = MatexSolver(system, opts, deviation_mode=True)
+        results.append(
+            solver.simulate(t_end, active_inputs=list(cols), schedule=sched)
+        )
+    return results
+
+
+class TestSuperposition:
+    def test_sum_equals_full_simulation(self, mesh_system):
+        s = mesh_system
+        t_end = 1e-9
+        opts = SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-8)
+        parts = _node_results(s, t_end, [(0,), (1,), (2,)], opts)
+        combined = superpose(np.zeros(s.dim), parts)
+        times, X = exact_transient(s, np.zeros(s.dim), t_end)
+        assert np.allclose(combined.times, times)
+        assert np.max(np.abs(combined.states - X)) < 1e-6
+
+    def test_dc_offset_added(self, mesh_system):
+        s = mesh_system
+        opts = SolverOptions(method="rational", gamma=1e-10)
+        parts = _node_results(s, 1e-9, [(0,)], opts)
+        offset = np.full(s.dim, 0.25)
+        combined = superpose(offset, parts)
+        assert np.allclose(combined.states[0], 0.25)
+
+    def test_stats_merged(self, mesh_system):
+        s = mesh_system
+        opts = SolverOptions(method="rational", gamma=1e-10)
+        parts = _node_results(s, 1e-9, [(0,), (1,)], opts)
+        combined = superpose(np.zeros(s.dim), parts)
+        assert combined.stats.n_krylov_bases == sum(
+            p.stats.n_krylov_bases for p in parts
+        )
+
+    def test_misaligned_grids_rejected(self, mesh_system):
+        s = mesh_system
+        dummy = SolverStats()
+        a = TransientResult(s, np.array([0.0, 1e-10]),
+                            np.zeros((2, s.dim)), dummy)
+        b = TransientResult(s, np.array([0.0, 2e-10]),
+                            np.zeros((2, s.dim)), dummy)
+        with pytest.raises(ValueError, match="aligned"):
+            superpose(np.zeros(s.dim), [a, b])
+
+    def test_empty_rejected(self, mesh_system):
+        with pytest.raises(ValueError, match="at least one"):
+            superpose(np.zeros(mesh_system.dim), [])

@@ -1,0 +1,168 @@
+"""Unit tests for waveform models and transition-spot extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.waveforms import (
+    DC,
+    PWL,
+    BumpShape,
+    Pulse,
+    merge_transition_spots,
+)
+
+
+class TestDC:
+    def test_value_is_constant(self):
+        w = DC(1.8)
+        assert w.value(0.0) == 1.8
+        assert w.value(1e-6) == 1.8
+
+    def test_slope_is_zero(self):
+        assert DC(5.0).slope(1e-9) == 0.0
+
+    def test_transition_spots_only_origin(self):
+        assert DC(1.0).transition_spots(1e-8) == [0.0]
+
+    def test_is_constant(self):
+        assert DC(0.0).is_constant()
+
+    def test_values_array(self):
+        out = DC(2.5).values_array(np.array([0.0, 1e-9, 5e-9]))
+        assert np.all(out == 2.5)
+
+
+class TestPWL:
+    def test_interpolates_between_breakpoints(self):
+        w = PWL([(0.0, 0.0), (1e-9, 1.0)])
+        assert w.value(5e-10) == pytest.approx(0.5)
+
+    def test_holds_outside_range(self):
+        w = PWL([(1e-9, 2.0), (2e-9, 4.0)])
+        assert w.value(0.0) == 2.0
+        assert w.value(1e-8) == 4.0
+
+    def test_slope_inside_segment(self):
+        w = PWL([(0.0, 0.0), (1e-9, 1.0), (2e-9, 1.0)])
+        assert w.slope(5e-10) == pytest.approx(1e9)
+        assert w.slope(1.5e-9) == 0.0
+
+    def test_slope_outside_is_zero(self):
+        w = PWL([(1e-9, 0.0), (2e-9, 1.0)])
+        assert w.slope(0.5e-9) == 0.0
+        assert w.slope(3e-9) == 0.0
+
+    def test_transition_spots_at_slope_changes(self):
+        w = PWL([(0.0, 0.0), (1e-9, 1.0), (2e-9, 1.0), (3e-9, 0.0)])
+        spots = w.transition_spots(1e-8)
+        assert spots == [0.0, 1e-9, 2e-9, 3e-9]
+
+    def test_no_spot_for_continued_slope(self):
+        # Middle breakpoint lies on the same line: no slope change there.
+        w = PWL([(0.0, 0.0), (1e-9, 1.0), (2e-9, 2.0)])
+        spots = w.transition_spots(1e-8)
+        assert 1e-9 not in spots
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PWL([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            PWL([])
+
+    def test_values_array_matches_scalar(self):
+        w = PWL([(0.0, 0.0), (1e-9, 1.0), (3e-9, -1.0)])
+        ts = np.linspace(0, 4e-9, 17)
+        assert np.allclose(w.values_array(ts), [w.value(t) for t in ts])
+
+    def test_is_constant_false(self):
+        assert not PWL([(0.0, 0.0), (1e-9, 1.0)]).is_constant()
+
+
+class TestPulse:
+    def pulse(self, **kw):
+        defaults = dict(v1=0.0, v2=1e-3, t_delay=1e-10, t_rise=5e-11,
+                        t_width=2e-10, t_fall=5e-11)
+        defaults.update(kw)
+        return Pulse(**defaults)
+
+    def test_levels(self):
+        p = self.pulse()
+        assert p.value(0.0) == 0.0
+        assert p.value(2e-10) == pytest.approx(1e-3)   # inside flat top
+        assert p.value(1e-9) == 0.0                    # after the bump
+
+    def test_ramp_midpoints(self):
+        p = self.pulse()
+        assert p.value(1.25e-10) == pytest.approx(5e-4)  # half rise
+
+    def test_transition_spots(self):
+        p = self.pulse()
+        spots = p.transition_spots(1e-9)
+        assert spots[0] == 0.0
+        assert len(spots) == 5  # 0 + four bump corners
+        assert spots[1] == pytest.approx(1e-10)
+        assert spots[-1] == pytest.approx(4e-10)
+
+    def test_slope_right_sided_at_spots(self):
+        """At its own transition spots slope() must be the *next* segment's."""
+        p = self.pulse()
+        spots = p.transition_spots(1e-9)
+        rise = 1e-3 / 5e-11
+        expected = [0.0, rise, 0.0, -rise, 0.0]
+        got = [p.slope(t) for t in spots]
+        assert got == pytest.approx(expected)
+
+    def test_periodic_fold(self):
+        p = self.pulse(t_period=1e-9)
+        assert p.value(1e-9 + 2e-10) == pytest.approx(p.value(2e-10))
+        spots = p.transition_spots(2.5e-9)
+        assert any(math.isclose(s, 1e-9 + 1e-10) for s in spots)
+
+    def test_period_too_short_rejected(self):
+        with pytest.raises(ValueError, match="shorter than one bump"):
+            self.pulse(t_period=1e-11)
+
+    def test_nonpositive_ramps_rejected(self):
+        with pytest.raises(ValueError):
+            self.pulse(t_rise=0.0)
+
+    def test_bump_shape_key(self):
+        p = self.pulse()
+        shape = p.bump_shape()
+        assert shape == BumpShape(1e-10, 5e-11, 5e-11, 2e-10)
+        assert shape.key() == (1e-10, 5e-11, 5e-11, 2e-10)
+
+    def test_to_pwl_matches_values(self):
+        p = self.pulse()
+        pwl = p.to_pwl(1e-9)
+        for t in np.linspace(0, 1e-9, 41):
+            assert pwl.value(t) == pytest.approx(p.value(t), abs=1e-12)
+
+    def test_values_array_matches_scalar(self):
+        p = self.pulse(t_period=8e-10)
+        ts = np.linspace(0, 3e-9, 53)
+        assert np.allclose(p.values_array(ts), [p.value(t) for t in ts],
+                           atol=1e-12)
+
+    def test_is_constant_when_levels_equal(self):
+        assert self.pulse(v2=0.0).is_constant()
+        assert not self.pulse().is_constant()
+
+
+class TestMergeTransitionSpots:
+    def test_union_and_dedup(self):
+        merged = merge_transition_spots([[0.0, 1e-9], [0.0, 2e-9, 1e-9]])
+        assert merged == [0.0, 1e-9, 2e-9]
+
+    def test_near_duplicates_collapse(self):
+        a = 1e-10 + 5e-11
+        b = 1.5e-10
+        merged = merge_transition_spots([[a], [b]])
+        assert len(merged) == 1
+
+    def test_empty_input(self):
+        assert merge_transition_spots([]) == [0.0]
