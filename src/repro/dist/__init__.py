@@ -1,0 +1,27 @@
+"""Distributed MATEX (paper Sec. 3, Fig. 4).
+
+The subsystem splits a transient simulation by *input sources*: the
+:class:`MatexScheduler` decomposes the inputs into groups, each
+:class:`NodeWorker` simulates one group's deviation from the operating
+point against its own (amortised) factorisations, and the scheduler
+superposes the per-node trajectories.  Executors choose where workers
+live: in-process (:class:`SerialExecutor`) or a real process pool
+(:class:`MultiprocessExecutor`) with pickled task messages.
+"""
+
+from repro.dist.executors import Executor, MultiprocessExecutor, SerialExecutor
+from repro.dist.messages import DistributedResult, NodeResult, SimulationTask
+from repro.dist.scheduler import DECOMPOSITIONS, MatexScheduler
+from repro.dist.worker import NodeWorker
+
+__all__ = [
+    "DECOMPOSITIONS",
+    "DistributedResult",
+    "Executor",
+    "MatexScheduler",
+    "MultiprocessExecutor",
+    "NodeResult",
+    "NodeWorker",
+    "SerialExecutor",
+    "SimulationTask",
+]

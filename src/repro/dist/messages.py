@@ -1,0 +1,157 @@
+"""Message types exchanged between the scheduler and computing nodes.
+
+Everything in this module is a plain dataclass of picklable payloads —
+tuples, floats, numpy arrays, :class:`~repro.core.decomposition.SourceGroup`
+(itself a frozen dataclass of tuples and waveform dataclasses) and
+:class:`~repro.core.stats.SolverStats`.  ``multiprocessing`` transports
+them between processes, so picklability is a contract guaranteed by
+``tests/test_dist_messages.py``.
+
+The protocol mirrors the paper's Fig. 4:
+
+* the scheduler sends each node one :class:`SimulationTask` — its source
+  group, the horizon and the *shared* global-transition-spot grid (so
+  every node's trajectory aligns for superposition);
+* the node answers with a :class:`NodeResult` — the deviation trajectory
+  on that grid plus its local statistics;
+* the scheduler superposes and reports a :class:`DistributedResult` with
+  the Sec. 3.4 timing split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.decomposition import SourceGroup
+from repro.core.results import TransientResult
+from repro.core.stats import SolverStats
+
+__all__ = ["SimulationTask", "NodeResult", "DistributedResult"]
+
+
+@dataclass(frozen=True)
+class SimulationTask:
+    """One unit of distributed work: simulate a source group's deviation.
+
+    Attributes
+    ----------
+    task_id:
+        Scheduler-assigned identifier; the matching :class:`NodeResult`
+        echoes it back so out-of-order completion can be reordered.
+    group:
+        The source group (input columns plus optional waveform overrides)
+        this node owns.
+    t_end:
+        Simulation horizon.
+    global_points:
+        The full system's Global Transition Spots.  Every node marches
+        through all of them — its own LTS as fresh Krylov generations,
+        the rest as basis-reuse snapshots — so all results share one grid.
+    """
+
+    task_id: int
+    group: SourceGroup
+    t_end: float
+    global_points: tuple[float, ...]
+
+    def __post_init__(self):
+        if self.t_end <= 0.0:
+            raise ValueError(f"t_end must be positive, got {self.t_end!r}")
+        if not self.group.input_columns:
+            raise ValueError("task group owns no input columns")
+
+
+@dataclass(frozen=True, eq=False)
+class NodeResult:
+    """A node's answer: the deviation trajectory plus local statistics.
+
+    The trajectory is carried as raw arrays (not a
+    :class:`~repro.core.results.TransientResult`) so the message does not
+    drag the whole MNA system back through the pipe; the scheduler
+    re-attaches its own system reference during superposition.
+    ``eq=False``: the array payloads have no scalar ``==``; compare the
+    fields (``np.testing.assert_array_equal``) instead of whole messages.
+    """
+
+    task_id: int
+    group_id: int
+    label: str
+    times: np.ndarray
+    states: np.ndarray
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def transient_seconds(self) -> float:
+        """Wall time of the node's stepping loop (its ``trmatex`` share)."""
+        return self.stats.transient_seconds
+
+    @property
+    def factor_seconds(self) -> float:
+        """Wall time of the node's one-off matrix factorisations."""
+        return self.stats.factor_seconds
+
+    def as_transient_result(self, system) -> TransientResult:
+        """Rehydrate into a :class:`TransientResult` for superposition."""
+        return TransientResult(
+            system=system,
+            times=self.times,
+            states=self.states,
+            stats=self.stats,
+            method=f"matex-node[{self.label}]",
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class DistributedResult:
+    """The combined outcome of one distributed run (paper Sec. 3.4).
+
+    Attributes
+    ----------
+    result:
+        The superposed full-system trajectory ``x_dc + Σ_k y_k``.
+    n_nodes:
+        Number of computing nodes (= source groups) used.
+    node_stats:
+        Per-node solver statistics, ordered by task id.
+    dc_seconds:
+        Scheduler-side serial part: the one DC factorisation + solve.
+    factor_seconds:
+        Max per-node factorisation time (nodes factor concurrently).
+    superpose_seconds:
+        Wall time of the final write-back/superposition.
+    """
+
+    result: TransientResult
+    n_nodes: int
+    node_stats: tuple[SolverStats, ...]
+    dc_seconds: float = 0.0
+    factor_seconds: float = 0.0
+    superpose_seconds: float = 0.0
+
+    @property
+    def node_transient_seconds(self) -> list[float]:
+        """Per-node pure-transient wall times."""
+        return [s.transient_seconds for s in self.node_stats]
+
+    @property
+    def tr_matex(self) -> float:
+        """Paper ``trmatex``: the slowest node's pure-transient time."""
+        return max(self.node_transient_seconds)
+
+    @property
+    def tr_total(self) -> float:
+        """Paper MATEX total: serial parts + slowest node + write-back."""
+        return (self.dc_seconds + self.factor_seconds
+                + self.tr_matex + self.superpose_seconds)
+
+    @property
+    def total_substitution_pairs(self) -> int:
+        """Substitution pairs summed over all nodes (total work)."""
+        return sum(s.n_solves_transient for s in self.node_stats)
+
+    @property
+    def max_node_substitution_pairs(self) -> int:
+        """The busiest node's substitution pairs (critical-path work)."""
+        return max(s.n_solves_transient for s in self.node_stats)
