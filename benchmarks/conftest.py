@@ -3,15 +3,70 @@
 Every benchmark regenerates (part of) a paper table or figure; besides
 the pytest-benchmark timings, the rendered paper-style tables are written
 to ``benchmarks/results/*.txt`` so EXPERIMENTS.md can reference them.
+
+Each benchmark module additionally emits a machine-readable
+``benchmarks/results/<module>.json`` — one entry per test with its wall
+time plus any metrics the test chose to record via the
+``record_metric`` fixture — so the performance trajectory can be
+tracked across PRs (and uploaded as a CI artifact).
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: module stem -> {test name -> {"wall_seconds": ..., "metrics": {...}}}
+_JSON_RESULTS: dict[str, dict[str, dict]] = {}
+
+
+def _entry(request) -> dict:
+    module = Path(str(request.fspath)).stem
+    tests = _JSON_RESULTS.setdefault(module, {})
+    return tests.setdefault(request.node.name, {"metrics": {}})
+
+
+@pytest.fixture(autouse=True)
+def _record_wall_time(request):
+    """Time every benchmark test into the module's JSON record."""
+    t0 = time.perf_counter()
+    yield
+    _entry(request)["wall_seconds"] = round(time.perf_counter() - t0, 6)
+
+
+@pytest.fixture
+def record_metric(request):
+    """Attach a named metric to the current test's JSON record.
+
+    >>> record_metric("cache_hits", dres.factor_cache_hits)
+    """
+
+    def _record(name: str, value) -> None:
+        _entry(request)["metrics"][name] = value
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one JSON file per benchmark module that ran."""
+    if not _JSON_RESULTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for module, tests in sorted(_JSON_RESULTS.items()):
+        payload = {
+            "module": module,
+            "tests": [
+                {"name": name, **entry}
+                for name, entry in sorted(tests.items())
+            ],
+        }
+        path = RESULTS_DIR / f"{module}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -1,13 +1,39 @@
-"""Traditional integrators MATEX is compared against."""
+"""Traditional integrators MATEX is compared against.
 
-from repro.baselines.adaptive_tr import simulate_adaptive_trapezoidal
-from repro.baselines.backward_euler import simulate_backward_euler
-from repro.baselines.fixed_step import dc_operating_point
-from repro.baselines.forward_euler import simulate_forward_euler
+Each baseline is a strategy object registered in the
+:mod:`repro.engine` integrator registry (``"tr"``, ``"be"``, ``"fe"``,
+``"tr-adaptive"``); the ``simulate_*`` functions remain as thin
+conveniences over the classes.
+"""
+
+from repro.baselines.adaptive_tr import (
+    AdaptiveTrapezoidalIntegrator,
+    simulate_adaptive_trapezoidal,
+)
+from repro.baselines.backward_euler import (
+    BackwardEulerIntegrator,
+    simulate_backward_euler,
+)
+from repro.baselines.fixed_step import (
+    FixedStepImplicitIntegrator,
+    dc_operating_point,
+)
+from repro.baselines.forward_euler import (
+    ForwardEulerIntegrator,
+    simulate_forward_euler,
+)
 from repro.baselines.reference import reference_backward_euler, reference_exact
-from repro.baselines.trapezoidal import simulate_trapezoidal
+from repro.baselines.trapezoidal import (
+    TrapezoidalIntegrator,
+    simulate_trapezoidal,
+)
 
 __all__ = [
+    "AdaptiveTrapezoidalIntegrator",
+    "BackwardEulerIntegrator",
+    "FixedStepImplicitIntegrator",
+    "ForwardEulerIntegrator",
+    "TrapezoidalIntegrator",
     "dc_operating_point",
     "reference_backward_euler",
     "reference_exact",

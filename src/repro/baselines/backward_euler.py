@@ -7,6 +7,9 @@ First-order A-stable (indeed L-stable) companion baseline::
 Its strong damping makes it the paper's accuracy *reference* when run at
 a tiny step (Table 1 uses BE at 0.05ps); see
 :mod:`repro.baselines.reference`.
+
+Registered in the integrator registry as ``"be"``; the marching loop is
+the shared :class:`~repro.engine.loop.SteppingLoop`.
 """
 
 from __future__ import annotations
@@ -15,11 +18,30 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.fixed_step import run_fixed_step
+from repro.baselines.fixed_step import FixedStepImplicitIntegrator
 from repro.circuit.mna import MNASystem
 from repro.core.results import TransientResult
+from repro.engine.registry import register_integrator
+from repro.engine.sinks import ResultSink
 
-__all__ = ["simulate_backward_euler"]
+__all__ = ["BackwardEulerIntegrator", "simulate_backward_euler"]
+
+
+@register_integrator("be", "backward-euler", "be-fixed")
+class BackwardEulerIntegrator(FixedStepImplicitIntegrator):
+    """Fixed-step BE strategy; see module docstring."""
+
+    method_label = "be-fixed"
+
+    def __init__(self, system: MNASystem, h: float):
+        super().__init__(system, h)
+        self._rhs_matrix = (system.C / self.h).tocsr()
+
+    def _lhs(self):
+        return (self.system.C / self.h + self.system.G).tocsc()
+
+    def _rhs(self, x, bu0, bu1):
+        return self._rhs_matrix @ x + bu1
 
 
 def simulate_backward_euler(
@@ -28,22 +50,13 @@ def simulate_backward_euler(
     t_end: float,
     x0: np.ndarray | None = None,
     record_times: Sequence[float] | None = None,
+    sink: ResultSink | None = None,
 ) -> TransientResult:
     """Simulate with fixed-step BE; see module docstring.
 
     Parameters mirror
     :func:`repro.baselines.trapezoidal.simulate_trapezoidal`.
     """
-    if h <= 0.0:
-        raise ValueError(f"step size must be positive, got {h!r}")
-    lhs = (system.C / h + system.G).tocsc()
-    rhs_matrix = (system.C / h).tocsr()
-
-    def rhs(x: np.ndarray, bu0: np.ndarray, bu1: np.ndarray) -> np.ndarray:
-        return rhs_matrix @ x + bu1
-
-    return run_fixed_step(
-        system, h, t_end,
-        lhs=lhs, rhs_fn=rhs,
-        method="be-fixed", x0=x0, record_times=record_times,
+    return BackwardEulerIntegrator(system, h).simulate(
+        t_end, x0=x0, record_times=record_times, sink=sink
     )

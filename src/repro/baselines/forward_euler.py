@@ -10,6 +10,10 @@ exactly this behaviour.
 
 Note forward Euler must factor ``C`` (like MEXP, it fails outright on
 singular ``C``).
+
+Registered in the integrator registry as ``"fe"``; the marching loop —
+including the divergence truncation — is the shared
+:class:`~repro.engine.loop.SteppingLoop`.
 """
 
 from __future__ import annotations
@@ -19,13 +23,103 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.fixed_step import dc_operating_point
+from repro.baselines.fixed_step import dc_operating_point, select_record_indices
 from repro.circuit.mna import MNASystem
 from repro.core.results import TransientResult
 from repro.core.stats import SolverStats
-from repro.linalg.lu import FactorizationError, SparseLU
+from repro.engine.loop import SteppingLoop
+from repro.engine.registry import Integrator, register_integrator
+from repro.engine.sinks import ResultSink
+from repro.linalg.lu import FACTORIZATION_CACHE, FactorizationError
 
-__all__ = ["simulate_forward_euler"]
+__all__ = ["ForwardEulerIntegrator", "simulate_forward_euler"]
+
+
+@register_integrator("fe", "forward-euler", "fe-fixed")
+class ForwardEulerIntegrator(Integrator):
+    """Explicit-Euler strategy; see module docstring.
+
+    Raises
+    ------
+    repro.linalg.lu.FactorizationError
+        If ``C`` is singular (explicit methods need ``C⁻¹``).
+    """
+
+    method_label = "fe-fixed"
+    needs_step_size = True
+
+    def __init__(self, system: MNASystem, h: float):
+        if h <= 0.0:
+            raise ValueError(f"step size must be positive, got {h!r}")
+        self.system = system
+        self.h = float(h)
+        try:
+            self.lu_c = FACTORIZATION_CACHE.factor(system.C, label="C")
+        except FactorizationError:
+            raise FactorizationError(
+                "forward Euler needs a non-singular C (explicit update is "
+                "x + h·C⁻¹(−Gx + Bu)); this circuit requires an implicit or "
+                "inverted/rational-Krylov method"
+            ) from None
+        # Attributed to the first simulate call only (see fixed_step).
+        self._factor_seconds_pending = self.lu_c.factor_seconds
+
+    def simulate(
+        self,
+        t_end: float,
+        x0: np.ndarray | None = None,
+        record_times: Sequence[float] | None = None,
+        sink: ResultSink | None = None,
+    ) -> TransientResult:
+        """Simulate with explicit Euler.
+
+        The trajectory is truncated at the first non-finite state so
+        callers can observe where instability strikes
+        (``result.times[-1] < t_end``).
+
+        Parameters mirror
+        :func:`repro.baselines.trapezoidal.simulate_trapezoidal`.
+        """
+        h = self.h
+        n_steps = int(round(t_end / h))
+        if n_steps < 1:
+            raise ValueError(f"t_end={t_end!r} shorter than one step h={h!r}")
+
+        stats = SolverStats()
+        stats.factor_seconds += self._factor_seconds_pending
+        self._factor_seconds_pending = 0.0
+
+        if x0 is None:
+            t_dc = time.perf_counter()
+            x0, lu_g = dc_operating_point(self.system)
+            stats.dc_seconds = time.perf_counter() - t_dc
+            stats.factor_seconds += lu_g.factor_seconds
+            stats.n_solves_dc += 1
+
+        grid = h * np.arange(n_steps + 1)
+        record = select_record_indices(n_steps, record_times, h)
+        bu_grid = self.system.bu_series(grid)
+        g = self.system.G.tocsr()
+        solves_before = self.lu_c.n_solves
+
+        def advance(i: int, t: float, t_next: float, x: np.ndarray):
+            x_new = x + h * self.lu_c.solve(bu_grid[:, i] - g @ x)
+            if not np.all(np.isfinite(x_new)):
+                return None  # explicit instability: stop at divergence
+            return x_new
+
+        loop = SteppingLoop(self.system.dim, stats, sink=sink)
+        times, states = loop.march_grid(grid, x0, advance, record=record)
+        stats.n_solves_etd = self.lu_c.n_solves - solves_before
+
+        return TransientResult(
+            system=self.system,
+            times=times,
+            states=states,
+            stats=stats,
+            method=self.method_label,
+            sink=sink,
+        )
 
 
 def simulate_forward_euler(
@@ -34,78 +128,9 @@ def simulate_forward_euler(
     t_end: float,
     x0: np.ndarray | None = None,
     record_times: Sequence[float] | None = None,
+    sink: ResultSink | None = None,
 ) -> TransientResult:
-    """Simulate with explicit Euler.
-
-    The trajectory is truncated at the first non-finite state so callers
-    can observe where instability strikes (``result.times[-1] < t_end``).
-
-    Parameters mirror
-    :func:`repro.baselines.trapezoidal.simulate_trapezoidal`.
-
-    Raises
-    ------
-    repro.linalg.lu.FactorizationError
-        If ``C`` is singular (explicit methods need ``C⁻¹``).
-    """
-    if h <= 0.0:
-        raise ValueError(f"step size must be positive, got {h!r}")
-    n_steps = int(round(t_end / h))
-    if n_steps < 1:
-        raise ValueError(f"t_end={t_end!r} shorter than one step h={h!r}")
-
-    stats = SolverStats()
-    try:
-        lu_c = SparseLU(system.C, label="C")
-    except FactorizationError:
-        raise FactorizationError(
-            "forward Euler needs a non-singular C (explicit update is "
-            "x + h·C⁻¹(−Gx + Bu)); this circuit requires an implicit or "
-            "inverted/rational-Krylov method"
-        ) from None
-    stats.factor_seconds += lu_c.factor_seconds
-
-    if x0 is None:
-        t_dc = time.perf_counter()
-        x0, lu_g = dc_operating_point(system)
-        stats.dc_seconds = time.perf_counter() - t_dc
-        stats.factor_seconds += lu_g.factor_seconds
-        stats.n_solves_dc += 1
-    x = np.asarray(x0, dtype=float).copy()
-
-    grid = h * np.arange(n_steps + 1)
-    if record_times is None:
-        keep = set(range(n_steps + 1))
-    else:
-        keep = {0, n_steps} | {
-            int(round(t / h)) for t in record_times
-            if 0 <= int(round(t / h)) <= n_steps
-        }
-
-    times_out: list[float] = []
-    states_out: list[np.ndarray] = []
-    if 0 in keep:
-        times_out.append(0.0)
-        states_out.append(x.copy())
-
-    g = system.G.tocsr()
-    t_loop = time.perf_counter()
-    bu_grid = system.bu_series(grid)
-    for n in range(n_steps):
-        x = x + h * lu_c.solve(bu_grid[:, n] - g @ x)
-        stats.n_steps += 1
-        if not np.all(np.isfinite(x)):
-            break  # explicit instability: stop where divergence strikes
-        if (n + 1) in keep:
-            times_out.append(grid[n + 1])
-            states_out.append(x.copy())
-    stats.transient_seconds = time.perf_counter() - t_loop
-    stats.n_solves_etd = lu_c.n_solves
-
-    return TransientResult(
-        system=system,
-        times=np.asarray(times_out),
-        states=np.asarray(states_out),
-        stats=stats,
-        method="fe-fixed",
+    """Simulate with explicit Euler; see the class docstring."""
+    return ForwardEulerIntegrator(system, h).simulate(
+        t_end, x0=x0, record_times=record_times, sink=sink
     )

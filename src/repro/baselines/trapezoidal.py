@@ -7,6 +7,9 @@ solvers in the 2012 TAU PG simulation contest" (Sec. 2.1): one LU of
     (C/h + G/2) x(t+h) = (C/h − G/2) x(t) + B (u(t) + u(t+h)) / 2
 
 Table 3 pits MATEX against this with ``h = 10ps`` over 1000 steps.
+
+Registered in the integrator registry as ``"tr"``; the marching loop is
+the shared :class:`~repro.engine.loop.SteppingLoop`.
 """
 
 from __future__ import annotations
@@ -15,11 +18,30 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.fixed_step import run_fixed_step
+from repro.baselines.fixed_step import FixedStepImplicitIntegrator
 from repro.circuit.mna import MNASystem
 from repro.core.results import TransientResult
+from repro.engine.registry import register_integrator
+from repro.engine.sinks import ResultSink
 
-__all__ = ["simulate_trapezoidal"]
+__all__ = ["TrapezoidalIntegrator", "simulate_trapezoidal"]
+
+
+@register_integrator("tr", "trapezoidal", "tr-fixed")
+class TrapezoidalIntegrator(FixedStepImplicitIntegrator):
+    """Fixed-step TR strategy; see module docstring."""
+
+    method_label = "tr-fixed"
+
+    def __init__(self, system: MNASystem, h: float):
+        super().__init__(system, h)
+        self._rhs_matrix = (system.C / self.h - system.G / 2.0).tocsr()
+
+    def _lhs(self):
+        return (self.system.C / self.h + self.system.G / 2.0).tocsc()
+
+    def _rhs(self, x, bu0, bu1):
+        return self._rhs_matrix @ x + 0.5 * (bu0 + bu1)
 
 
 def simulate_trapezoidal(
@@ -28,6 +50,7 @@ def simulate_trapezoidal(
     t_end: float,
     x0: np.ndarray | None = None,
     record_times: Sequence[float] | None = None,
+    sink: ResultSink | None = None,
 ) -> TransientResult:
     """Simulate with fixed-step TR; see module docstring.
 
@@ -43,17 +66,9 @@ def simulate_trapezoidal(
         Initial state; defaults to the DC operating point.
     record_times:
         Optional subset of grid times to keep (all by default).
+    sink:
+        Recorded-state destination (default: dense in-memory).
     """
-    if h <= 0.0:
-        raise ValueError(f"step size must be positive, got {h!r}")
-    lhs = (system.C / h + system.G / 2.0).tocsc()
-    rhs_matrix = (system.C / h - system.G / 2.0).tocsr()
-
-    def rhs(x: np.ndarray, bu0: np.ndarray, bu1: np.ndarray) -> np.ndarray:
-        return rhs_matrix @ x + 0.5 * (bu0 + bu1)
-
-    return run_fixed_step(
-        system, h, t_end,
-        lhs=lhs, rhs_fn=rhs,
-        method="tr-fixed", x0=x0, record_times=record_times,
+    return TrapezoidalIntegrator(system, h).simulate(
+        t_end, x0=x0, record_times=record_times, sink=sink
     )

@@ -52,8 +52,8 @@ def format_netlist(netlist: Netlist, t_end: float | None = None) -> str:
         lines.append(f"{r.name} {r.pos} {r.neg} {_fmt(r.resistance)}")
     for c in netlist.capacitors:
         lines.append(f"{c.name} {c.pos} {c.neg} {_fmt(c.capacitance)}")
-    for l in netlist.inductors:
-        lines.append(f"{l.name} {l.pos} {l.neg} {_fmt(l.inductance)}")
+    for ind in netlist.inductors:
+        lines.append(f"{ind.name} {ind.pos} {ind.neg} {_fmt(ind.inductance)}")
     for v in netlist.voltage_sources:
         lines.append(f"{v.name} {v.pos} {v.neg} {_fmt_waveform(v.waveform)}")
     for i in netlist.current_sources:

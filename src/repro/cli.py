@@ -4,10 +4,19 @@ Usage (after ``pip install -e .``)::
 
     python -m repro.cli info grid.spice
     python -m repro.cli dc grid.spice
-    python -m repro.cli simulate grid.spice --t-end 10n --method rmatex \
+    python -m repro.cli simulate grid.spice --t-end 10n --method r-matex \
         --nodes n0_0 n5_5 --out waves.csv
+    python -m repro.cli simulate grid.spice --t-end 10n --method tr \
+        --h 10p --out waves.csv
     python -m repro.cli simulate grid.spice --t-end 10n --distributed \
         --out waves.npz
+
+``--method`` resolves through the :mod:`repro.engine` integrator
+registry — MATEX flavours (``r-matex``, ``i-matex``, ``mexp``) and the
+traditional baselines (``tr``, ``be``, ``fe`` with ``--h``;
+``tr-adaptive``) are all drop-ins.  ``--sink`` selects where the
+trajectory is recorded (``memory``, ``downsample:<stride>``,
+``npz:<path>`` for bounded-RAM streaming).
 
 Times accept SPICE suffixes (``10n``, ``50p``).  Output formats: ``.csv``
 (time + selected node voltages) and ``.npz`` (full state trajectory).
@@ -27,8 +36,13 @@ from repro.circuit.mna import assemble
 from repro.circuit.parser import parse_file, parse_value
 from repro.core.options import SolverOptions
 from repro.core.results import TransientResult
-from repro.core.solver import MatexSolver
 from repro.dist.scheduler import MatexScheduler
+from repro.engine import (
+    NpzStreamSink,
+    available_integrators,
+    get_integrator,
+    make_sink,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -55,14 +69,24 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("netlist", type=Path)
     sim.add_argument("--t-end", required=True,
                      help="simulation horizon (SPICE suffixes ok)")
-    sim.add_argument("--method", default="rmatex",
-                     help="mexp | imatex | rmatex (default)")
+    sim.add_argument(
+        "--method", default="r-matex",
+        help="integrator, resolved via the registry: "
+             + " | ".join(available_integrators())
+             + " (default r-matex; paper aliases like rmatex work too)")
+    sim.add_argument("--h", default=None,
+                     help="fixed step size for tr/be/fe (SPICE suffixes ok)")
     sim.add_argument("--gamma", default="1e-10",
                      help="rational-Krylov shift")
     sim.add_argument("--eps", type=float, default=1e-7,
                      help="relative Arnoldi error budget")
+    sim.add_argument(
+        "--sink", default="memory",
+        help="trajectory sink: memory (default) | downsample:<stride> | "
+             "npz:<path> (streams states to disk, bounded RAM)")
     sim.add_argument("--distributed", action="store_true",
-                     help="use the bump-decomposition scheduler")
+                     help="use the bump-decomposition scheduler "
+                          "(MATEX methods only)")
     sim.add_argument("--decomposition", default="bump",
                      choices=["bump", "source", "bump-split"])
     sim.add_argument("--nodes", nargs="*", default=None,
@@ -130,21 +154,61 @@ def _export(result: TransientResult, nodes, out: Path) -> None:
 def _cmd_simulate(args) -> int:
     system = _load(args.netlist)
     t_end = parse_value(args.t_end)
-    opts = SolverOptions(
-        method=args.method, gamma=parse_value(args.gamma), eps_rel=args.eps
-    )
+    cls = get_integrator(args.method)
+    matex_method = getattr(cls, "krylov_method", None)
+
     if args.distributed:
+        if matex_method is None:
+            raise ValueError(
+                f"--distributed needs a MATEX method (r-matex, i-matex, "
+                f"mexp), got {args.method!r}"
+            )
+        if args.sink != "memory":
+            raise ValueError(
+                "--sink is not supported with --distributed: the "
+                "superposition step needs every node's full trajectory "
+                "in memory"
+            )
+        sink = None
+        opts = SolverOptions(
+            method=matex_method, gamma=parse_value(args.gamma),
+            eps_rel=args.eps,
+        )
         dres = MatexScheduler(
             system, opts, decomposition=args.decomposition
         ).run(t_end)
         result = dres.result
         print(f"distributed: {dres.n_nodes} nodes, "
               f"trmatex {dres.tr_matex * 1e3:.1f} ms, "
-              f"tr_total {dres.tr_total * 1e3:.1f} ms")
+              f"tr_total {dres.tr_total * 1e3:.1f} ms, "
+              f"LU cache hits {dres.factor_cache_hits}")
     else:
-        result = MatexSolver(system, opts).simulate(t_end)
-        st = result.stats
-        print(f"single node: {st.summary()}")
+        sink = make_sink(args.sink)
+        needs_h = getattr(cls, "needs_step_size", False)
+        if args.h is not None and not needs_h:
+            raise ValueError(
+                f"integrator {cls.name!r} chooses its own time axis; "
+                f"--h only applies to fixed-grid methods "
+                f"(tr, be, fe)"
+            )
+        if matex_method is not None:
+            integrator = cls(
+                system, gamma=parse_value(args.gamma), eps_rel=args.eps
+            )
+        elif needs_h:
+            if args.h is None:
+                raise ValueError(
+                    f"integrator {cls.name!r} marches a fixed grid; "
+                    f"pass the step size with --h (e.g. --h 10p)"
+                )
+            integrator = cls(system, parse_value(args.h))
+        else:
+            integrator = cls(system)  # adaptive: owns its step policy
+        result = integrator.simulate(t_end, sink=sink)
+        print(f"single node [{cls.name}]: {result.stats.summary()}")
+
+    if isinstance(sink, NpzStreamSink):
+        print(f"states streamed to {sink.path}")
 
     if args.vdd is not None:
         report = droop_report(result, vdd=parse_value(args.vdd))

@@ -28,7 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.circuit.mna import MNASystem
-from repro.linalg.lu import SparseLU
+from repro.linalg.lu import FACTORIZATION_CACHE, SparseLU
 
 __all__ = ["EtdSegment", "EtdWorkspace"]
 
@@ -84,7 +84,9 @@ class EtdWorkspace:
         deviation_mode: bool = False,
     ):
         self.system = system
-        self.lu_g = lu_g if lu_g is not None else SparseLU(system.G, label="G")
+        if lu_g is None:
+            lu_g = FACTORIZATION_CACHE.factor(system.G, label="G")
+        self.lu_g = lu_g
         self.deviation_mode = deviation_mode
         self._u0_cache: dict[tuple[int, ...] | None, np.ndarray] = {}
 

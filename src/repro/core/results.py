@@ -10,6 +10,13 @@ trajectory and the solver statistics.  The container knows how to
 * compare against another result on a common grid (the max/avg error
   metrics of the paper's Table 3 are implemented on top of this in
   :mod:`repro.analysis.errors`).
+
+Since the engine refactor the trajectory arrives through a
+:class:`~repro.engine.sinks.ResultSink`: the default in-memory sink
+reproduces the historical dense arrays, a downsampling sink thins them,
+and the NPZ streaming sink leaves ``states`` memmap-backed on disk — the
+container is agnostic, and :attr:`TransientResult.sink` records which
+sink produced the run (e.g. to locate the streamed archive).
 """
 
 from __future__ import annotations
@@ -40,6 +47,11 @@ class TransientResult:
         Operation counts and timings.
     method:
         Name of the integrator that produced the result.
+    sink:
+        The :class:`~repro.engine.sinks.ResultSink` that recorded the
+        trajectory, when one was supplied (``None`` for plain in-memory
+        runs).  Lets callers reach sink artefacts, e.g. the ``.npz``
+        path of a streamed run.
     """
 
     system: MNASystem
@@ -47,6 +59,17 @@ class TransientResult:
     states: np.ndarray
     stats: SolverStats = field(default_factory=SolverStats)
     method: str = ""
+    sink: object | None = None
+
+    @property
+    def states_nbytes(self) -> int:
+        """In-process bytes of the states block (0 when memmap-backed)."""
+        base = self.states
+        while isinstance(base, np.ndarray):
+            if isinstance(base, np.memmap):
+                return 0
+            base = base.base
+        return int(self.states.nbytes)
 
     def __post_init__(self):
         self.times = np.asarray(self.times, dtype=float)

@@ -21,6 +21,7 @@ later snapshots served with larger ``ha`` are at least as accurate.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -31,9 +32,23 @@ from repro.core.options import SolverOptions
 from repro.core.results import TransientResult
 from repro.core.stats import SolverStats
 from repro.core.transition import TransitionSchedule, build_schedule
+from repro.engine.loop import SteppingLoop
+from repro.engine.sinks import ResultSink
 from repro.linalg.krylov import make_krylov_operator
+from repro.linalg.lu import FACTORIZATION_CACHE
 
 __all__ = ["MatexSolver"]
+
+
+@dataclass
+class _Alg2State:
+    """Mutable cross-step state of one Alg. 2 run (basis + segment)."""
+
+    eps_segment: float
+    alts: float                 # time of the last Krylov generation
+    basis: object = None        # current KrylovBasis (None before t=0 LTS)
+    segment: object = None      # current EtdSegment
+    v_alts: np.ndarray | None = None  # Krylov start vector at `alts`
 
 
 class MatexSolver:
@@ -66,6 +81,7 @@ class MatexSolver:
     ):
         self.system = system
         self.options = options if options is not None else SolverOptions()
+        hits0, misses0 = FACTORIZATION_CACHE.counters()
         self.op = make_krylov_operator(
             self.options.method, system.C, system.G, gamma=self.options.gamma
         )
@@ -73,6 +89,11 @@ class MatexSolver:
         self.workspace = EtdWorkspace(
             system, lu_g=shared_lu, deviation_mode=deviation_mode
         )
+        hits1, misses1 = FACTORIZATION_CACHE.counters()
+        #: factorisations this construction reused from / added to the
+        #: process-wide cache (the paper's shared-pencil amortisation).
+        self.construction_cache_hits = hits1 - hits0
+        self.construction_cache_misses = misses1 - misses0
         self.deviation_mode = deviation_mode
 
     # -- public API ---------------------------------------------------------------
@@ -98,6 +119,7 @@ class MatexSolver:
         active_inputs: Sequence[int] | None = None,
         schedule: TransitionSchedule | None = None,
         waveform_overrides: dict | None = None,
+        sink: ResultSink | None = None,
     ) -> TransientResult:
         """Run Alg. 2 over ``[0, t_end]``.
 
@@ -119,6 +141,10 @@ class MatexSolver:
             Optional ``{column: waveform}`` replacements evaluated
             instead of the originals (split-bump decomposition).  The
             factorisations are untouched — only input evaluation changes.
+        sink:
+            Destination for the recorded trajectory (default: dense
+            in-memory).  Downsampling or on-disk sinks bound the memory
+            of very long schedules; see :mod:`repro.engine.sinks`.
 
         Returns
         -------
@@ -148,14 +174,8 @@ class MatexSolver:
         x = np.asarray(x0, dtype=float).copy()
 
         points = schedule.points
-        states = np.empty((len(points), self.system.dim))
-        states[0] = x
 
-        basis = None
-        segment = None
-        alts = points[0]  # time of the last Krylov generation (Alg. 2)
-        v_alts = None     # Krylov start vector at alts (for reuse rebuilds)
-        eps_segment = opts.eps_abs
+        state = _Alg2State(eps_segment=opts.eps_abs, alts=points[0])
         # Reuse is accepted while the re-evaluated posterior error stays
         # within this factor of the generation-time budget (Fig. 5 says
         # it normally *shrinks* with h; the guard catches exceptions).
@@ -176,62 +196,60 @@ class MatexSolver:
         if self.deviation_mode:
             bu_grid = bu_grid - bu_grid[:, :1]
 
-        t_loop = time.perf_counter()
-        for i in range(len(points) - 1):
-            t, t_next = points[i], points[i + 1]
+        def advance(i: int, t: float, t_next: float, x: np.ndarray):
+            """One Alg. 2 step: fresh basis at an LTS, reuse at a snapshot."""
             h = t_next - t
-            if h <= 0.0:
-                states[i + 1] = x
-                continue
-
-            if schedule.is_lts[i] or basis is None:
+            if schedule.is_lts[i] or state.basis is None:
                 # Fresh input segment: new ETD vectors + new Krylov basis.
                 before_etd = etd_lu.n_solves
                 su = (bu_grid[:, i + 1] - bu_grid[:, i]) / h
-                segment = self.workspace.segment_from_vectors(
+                state.segment = self.workspace.segment_from_vectors(
                     t, bu_grid[:, i], su
                 )
                 stats.n_solves_etd += etd_lu.n_solves - before_etd
 
-                v = x + segment.F
-                eps_segment = opts.eps_rel * float(np.linalg.norm(v)) + opts.eps_abs
+                v = x + state.segment.F
+                state.eps_segment = (
+                    opts.eps_rel * float(np.linalg.norm(v)) + opts.eps_abs
+                )
                 before_kry = self.op.n_solves
-                basis = self.op.build_basis(
-                    v, h, tol=eps_segment, m_max=opts.m_max, min_dim=opts.m_min
+                state.basis = self.op.build_basis(
+                    v, h, tol=state.eps_segment,
+                    m_max=opts.m_max, min_dim=opts.m_min,
                 )
                 stats.n_solves_krylov += self.op.n_solves - before_kry
                 stats.n_krylov_bases += 1
-                stats.krylov_dims.append(basis.m)
-                alts = t
-                v_alts = v
-                x = basis.evaluate(h) - segment.P(h)
-            else:
-                # Snapshot: reuse the basis generated at `alts`, after
-                # re-checking its posterior error at the longer step.
-                ha = t_next - alts
-                y, reuse_err = basis.evaluate_with_error(ha)
-                if reuse_err > reuse_safety * eps_segment:
-                    before_kry = self.op.n_solves
-                    basis = self.op.build_basis(
-                        v_alts, ha, tol=eps_segment,
-                        m_max=opts.m_max, min_dim=opts.m_min,
-                    )
-                    stats.n_solves_krylov += self.op.n_solves - before_kry
-                    stats.n_krylov_bases += 1
-                    stats.krylov_dims.append(basis.m)
-                    y = basis.evaluate(ha)
-                else:
-                    stats.n_reuses += 1
-                x = y - segment.P(ha)
+                stats.krylov_dims.append(state.basis.m)
+                state.alts = t
+                state.v_alts = v
+                return state.basis.evaluate(h) - state.segment.P(h)
 
-            states[i + 1] = x
-            stats.n_steps += 1
-        stats.transient_seconds = time.perf_counter() - t_loop
+            # Snapshot: reuse the basis generated at `alts`, after
+            # re-checking its posterior error at the longer step.
+            ha = t_next - state.alts
+            y, reuse_err = state.basis.evaluate_with_error(ha)
+            if reuse_err > reuse_safety * state.eps_segment:
+                before_kry = self.op.n_solves
+                state.basis = self.op.build_basis(
+                    state.v_alts, ha, tol=state.eps_segment,
+                    m_max=opts.m_max, min_dim=opts.m_min,
+                )
+                stats.n_solves_krylov += self.op.n_solves - before_kry
+                stats.n_krylov_bases += 1
+                stats.krylov_dims.append(state.basis.m)
+                y = state.basis.evaluate(ha)
+            else:
+                stats.n_reuses += 1
+            return y - state.segment.P(ha)
+
+        loop = SteppingLoop(self.system.dim, stats, sink=sink)
+        times, states = loop.march_grid(points, x, advance)
 
         return TransientResult(
             system=self.system,
-            times=np.asarray(points),
+            times=times,
             states=states,
             stats=stats,
             method=f"matex-{opts.method}",
+            sink=sink,
         )

@@ -38,11 +38,20 @@ class SolverStats:
         Substitution pairs for the DC operating point.
     factor_seconds:
         Wall time of matrix factorisation(s) — the paper's serial part.
+        Factorisations served by the process-wide
+        :data:`~repro.linalg.lu.FACTORIZATION_CACHE` cost (and report)
+        ~zero here; the hit counters below record how often that
+        amortisation fired.
     dc_seconds:
         Wall time of DC analysis.
     transient_seconds:
         Wall time of the stepping loop itself ("pure transient
         computing", the ``trmatex``/``t1000`` quantity of Table 3).
+    n_factor_cache_hits:
+        Factorisations this run reused from the process-wide cache
+        (Sec. 3.4's shared-pencil claim, made measurable).
+    n_factor_cache_misses:
+        Factorisations this run actually performed (and cached).
     """
 
     n_steps: int = 0
@@ -55,6 +64,8 @@ class SolverStats:
     factor_seconds: float = 0.0
     dc_seconds: float = 0.0
     transient_seconds: float = 0.0
+    n_factor_cache_hits: int = 0
+    n_factor_cache_misses: int = 0
 
     @property
     def n_solves_transient(self) -> int:
@@ -96,6 +107,12 @@ class SolverStats:
             factor_seconds=self.factor_seconds + other.factor_seconds,
             dc_seconds=self.dc_seconds + other.dc_seconds,
             transient_seconds=self.transient_seconds + other.transient_seconds,
+            n_factor_cache_hits=(
+                self.n_factor_cache_hits + other.n_factor_cache_hits
+            ),
+            n_factor_cache_misses=(
+                self.n_factor_cache_misses + other.n_factor_cache_misses
+            ),
         )
 
     def summary(self) -> str:

@@ -121,6 +121,17 @@ class DistributedResult:
         Max per-node factorisation time (nodes factor concurrently).
     superpose_seconds:
         Wall time of the final write-back/superposition.
+    factor_cache_hits:
+        Factorisations this run reused from the process-wide
+        :data:`~repro.linalg.lu.FACTORIZATION_CACHE` (scheduler DC +
+        every node's construction) — the Sec. 3.4 shared-pencil
+        amortisation, counted.  Worker *processes* keep their own
+        caches, so multiprocess runs report only the hits their workers
+        observed locally — and a pool process that was initialised but
+        never received a task keeps its construction traffic to itself
+        (the counts are a conservative floor, never an overcount).
+    factor_cache_misses:
+        Factorisations actually performed (and cached) during the run.
     """
 
     result: TransientResult
@@ -129,6 +140,8 @@ class DistributedResult:
     dc_seconds: float = 0.0
     factor_seconds: float = 0.0
     superpose_seconds: float = 0.0
+    factor_cache_hits: int = 0
+    factor_cache_misses: int = 0
 
     @property
     def node_transient_seconds(self) -> list[float]:
@@ -138,7 +151,7 @@ class DistributedResult:
     @property
     def tr_matex(self) -> float:
         """Paper ``trmatex``: the slowest node's pure-transient time."""
-        return max(self.node_transient_seconds)
+        return max(self.node_transient_seconds, default=0.0)
 
     @property
     def tr_total(self) -> float:
@@ -154,4 +167,6 @@ class DistributedResult:
     @property
     def max_node_substitution_pairs(self) -> int:
         """The busiest node's substitution pairs (critical-path work)."""
-        return max(s.n_solves_transient for s in self.node_stats)
+        return max(
+            (s.n_solves_transient for s in self.node_stats), default=0
+        )

@@ -6,6 +6,15 @@ factorisations; every subsequent :meth:`NodeWorker.run` call reuses them,
 so a worker that serves several source groups (fewer physical nodes than
 groups, or the serial emulation) amortises the LU exactly as a
 long-lived process would.
+
+Construction may not even pay the factorisation: every sub-task of a
+distributed run shares the full system's MNA pencil (paper Sec. 3.4), so
+the process-wide :data:`~repro.linalg.lu.FACTORIZATION_CACHE` frequently
+serves the worker's ``G`` / ``C + γG`` factors from an earlier consumer
+(the scheduler's DC analysis, or a previous run).  Those construction
+cache hits are attributed to the worker's *first* task result, so the
+scheduler can report them in
+:class:`~repro.dist.messages.DistributedResult` without double counting.
 """
 
 from __future__ import annotations
@@ -35,6 +44,10 @@ class NodeWorker:
         self.system = system
         self.options = options if options is not None else SolverOptions()
         self.solver = MatexSolver(system, self.options, deviation_mode=True)
+        # Construction-time cache traffic, reported through the first
+        # task's stats (once — the factorisations happened once).
+        self._pending_cache_hits = self.solver.construction_cache_hits
+        self._pending_cache_misses = self.solver.construction_cache_misses
 
     def run(self, task: SimulationTask) -> NodeResult:
         """Simulate one source group's deviation response.
@@ -58,6 +71,10 @@ class NodeWorker:
             schedule=schedule,
             waveform_overrides=overrides,
         )
+        res.stats.n_factor_cache_hits += self._pending_cache_hits
+        res.stats.n_factor_cache_misses += self._pending_cache_misses
+        self._pending_cache_hits = 0
+        self._pending_cache_misses = 0
         return NodeResult(
             task_id=task.task_id,
             group_id=task.group.group_id,

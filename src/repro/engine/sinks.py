@@ -1,0 +1,223 @@
+"""Streaming result sinks: where a marching loop puts accepted states.
+
+A transient run over a million-point schedule does not have to hold the
+dense ``(steps × dim)`` trajectory in RAM: the stepping loop hands every
+recorded ``(t, x)`` to a :class:`ResultSink`, and the sink decides what
+to keep —
+
+* :class:`MemorySink` — everything, preallocated when the point count is
+  known (the historical behaviour, and the default);
+* :class:`DownsamplingSink` — every ``stride``-th point plus the first
+  and last, bounding memory by ``len/stride`` for plots and droop scans;
+* :class:`NpzStreamSink` — states stream straight to an on-disk ``.npy``
+  memmap and are packaged as ``.npz`` on finalize; the arrays handed
+  back to :class:`~repro.core.results.TransientResult` stay
+  memmap-backed, so peak RSS is bounded by one state vector.
+
+``finalize`` returns ``(times, states)`` ready for ``TransientResult``;
+:func:`make_sink` parses the CLI spellings ``memory``,
+``downsample:<stride>`` and ``npz:<path>``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ResultSink",
+    "MemorySink",
+    "DownsamplingSink",
+    "NpzStreamSink",
+    "make_sink",
+]
+
+
+class ResultSink(ABC):
+    """Receives the recorded trajectory of one marching loop."""
+
+    @abstractmethod
+    def open(self, dim: int, n_hint: int | None = None) -> None:
+        """Begin a run of ``dim``-sized states, ``n_hint`` points if known."""
+
+    @abstractmethod
+    def append(self, t: float, x: np.ndarray) -> None:
+        """Record state ``x`` at time ``t`` (called in time order)."""
+
+    @abstractmethod
+    def finalize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Close the run; return ``(times, states)`` for the result."""
+
+
+class MemorySink(ResultSink):
+    """Keep every recorded point in RAM (the default sink).
+
+    With a point-count hint the states block is preallocated in one
+    piece — identical storage to the pre-sink code path; without a hint
+    it grows as a list and stacks on finalize.
+    """
+
+    def __init__(self):
+        self._times: list[float] = []
+        self._block: np.ndarray | None = None
+        self._rows: list[np.ndarray] = []
+        self._count = 0
+
+    def open(self, dim: int, n_hint: int | None = None) -> None:
+        self._times = []
+        self._rows = []
+        self._count = 0
+        self._block = np.empty((n_hint, dim)) if n_hint else None
+
+    def append(self, t: float, x: np.ndarray) -> None:
+        self._times.append(float(t))
+        if self._block is not None and self._count < self._block.shape[0]:
+            self._block[self._count] = x
+        else:
+            self._rows.append(np.array(x, dtype=float))
+        self._count += 1
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray]:
+        times = np.asarray(self._times, dtype=float)
+        if self._block is not None and not self._rows:
+            states = self._block[: self._count]
+        else:
+            head = [] if self._block is None else [self._block[: min(
+                self._count, self._block.shape[0])]]
+            states = (
+                np.vstack(head + [np.asarray(self._rows)])
+                if (head or self._rows)
+                else np.empty((0, 0))
+            )
+        return times, states
+
+
+class DownsamplingSink(ResultSink):
+    """Keep every ``stride``-th recorded point, plus the first and last.
+
+    The final point is always kept (appended on finalize if the stride
+    skipped it), so droop extrema at the horizon and steady-state checks
+    still see the end of the run.
+    """
+
+    def __init__(self, stride: int):
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.stride = int(stride)
+        self._inner = MemorySink()
+        self._seen = 0
+        self._tail: tuple[float, np.ndarray] | None = None
+
+    def open(self, dim: int, n_hint: int | None = None) -> None:
+        hint = None if n_hint is None else (n_hint + self.stride - 1) // self.stride
+        self._inner.open(dim, hint)
+        self._seen = 0
+        self._tail = None
+
+    def append(self, t: float, x: np.ndarray) -> None:
+        if self._seen % self.stride == 0:
+            self._inner.append(t, x)
+            self._tail = None
+        else:
+            self._tail = (float(t), np.array(x, dtype=float))
+        self._seen += 1
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._tail is not None:
+            self._inner.append(*self._tail)
+            self._tail = None
+        return self._inner.finalize()
+
+
+class NpzStreamSink(ResultSink):
+    """Stream states to disk; package as ``.npz`` on finalize.
+
+    States go row-by-row into a ``.npy`` memmap next to the target file
+    (``<path>.states.npy``), growing geometrically when the run length
+    is unknown.  ``finalize`` writes ``np.savez(path, times=...,
+    states=...)`` — numpy copies from the memmap in bounded chunks — and
+    returns the memmap-backed view, so neither the run nor the returned
+    :class:`~repro.core.results.TransientResult` ever materialises the
+    full trajectory in RAM.  The workfile is kept alongside the ``.npz``
+    for zero-copy reopening; delete it freely once the ``.npz`` exists.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        if self.path.suffix != ".npz":
+            raise ValueError(
+                f"NpzStreamSink writes .npz archives, got {self.path.name!r}"
+            )
+        self.workfile = self.path.with_suffix(".states.npy")
+        self._times: list[float] = []
+        self._mm: np.ndarray | None = None
+        self._count = 0
+        self._dim = 0
+
+    def open(self, dim: int, n_hint: int | None = None) -> None:
+        self._dim = int(dim)
+        self._times = []
+        self._count = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        capacity = n_hint if n_hint else 1024
+        self._mm = np.lib.format.open_memmap(
+            self.workfile, mode="w+", dtype=np.float64,
+            shape=(max(int(capacity), 1), self._dim),
+        )
+
+    def _resize(self, capacity: int) -> None:
+        resized = np.lib.format.open_memmap(
+            self.workfile.with_suffix(".grow.npy"), mode="w+",
+            dtype=np.float64, shape=(capacity, self._dim),
+        )
+        resized[: self._count] = self._mm[: self._count]
+        resized.flush()
+        del self._mm  # release the old map before replacing the file
+        self.workfile.with_suffix(".grow.npy").replace(self.workfile)
+        self._mm = np.lib.format.open_memmap(self.workfile, mode="r+")
+
+    def append(self, t: float, x: np.ndarray) -> None:
+        if self._count >= self._mm.shape[0]:
+            self._resize(2 * self._mm.shape[0])
+        self._mm[self._count] = x
+        self._times.append(float(t))
+        self._count += 1
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray]:
+        times = np.asarray(self._times, dtype=float)
+        self._mm.flush()
+        if 0 < self._count < self._mm.shape[0]:
+            # Truncate the workfile to the rows actually written, so a
+            # zero-copy np.load of it never exposes uninitialised tail
+            # capacity left over from geometric growth.
+            self._resize(self._count)
+        states = self._mm[: self._count]
+        np.savez(self.path, times=times, states=states)
+        return times, states
+
+
+def make_sink(spec: str) -> ResultSink:
+    """Build a sink from a CLI spec.
+
+    * ``memory`` — :class:`MemorySink`;
+    * ``downsample:<stride>`` — :class:`DownsamplingSink`;
+    * ``npz:<path>`` — :class:`NpzStreamSink` writing ``<path>`` (.npz).
+    """
+    kind, _, arg = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind == "memory":
+        return MemorySink()
+    if kind == "downsample":
+        if not arg:
+            raise ValueError("downsample sink needs a stride: downsample:<k>")
+        return DownsamplingSink(int(arg))
+    if kind == "npz":
+        if not arg:
+            raise ValueError("npz sink needs a target path: npz:<file.npz>")
+        return NpzStreamSink(arg)
+    raise ValueError(
+        f"unknown sink spec {spec!r}; use memory, downsample:<stride> "
+        f"or npz:<path>"
+    )

@@ -32,17 +32,20 @@ Alg. 2 line 11).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np
+import scipy.linalg
 import scipy.sparse as sp
 
 from repro.linalg.arnoldi import ArnoldiResult, arnoldi
 from repro.linalg.expm import expm, expm_e1
-from repro.linalg.lu import FactorizationError, SparseLU
+from repro.linalg.lu import FACTORIZATION_CACHE, FactorizationError, SparseLU
 
 __all__ = [
+    "HessenbergFactors",
     "KrylovBasis",
     "KrylovExpmOperator",
     "StandardKrylov",
@@ -176,25 +179,67 @@ class KrylovBasis:
         return y, err
 
 
-def _inv_with_infinite_modes(h_square: np.ndarray) -> np.ndarray:
-    """Invert a Hessenberg block, tolerating exact singularity.
+class HessenbergFactors:
+    """LU factors of one small Hessenberg block — factor once, solve many.
 
-    A (near-)singular block arises when the start vector lies in the
-    *algebraic* part of the descriptor system (``C v ≈ 0`` — e.g. MNA
-    voltage-source branch currents): the pencil has an infinite
-    generalised eigenvalue there, and the physical flow damps such
-    components instantaneously.  Shifting the block by a tiny positive
-    multiple of the identity maps those directions to enormous negative
-    entries of the effective exponent, so ``exp(h·Hm)`` sends them to
-    zero — exactly the instant decay the pencil semantics require
-    (paper Sec. 3.3.3 / Lemma 1).
+    The inverted/rational error estimates and effective-exponent maps all
+    need ``H⁻¹`` products of the *same* ``m × m`` block: the inverse for
+    the exponent, and the ``e_m^T H⁻¹`` row for the posterior residual.
+    Previously each consumer ran its own ``np.linalg.solve``; this class
+    factors the block once (``scipy.linalg.lu_factor``) and serves every
+    product by substitution (``lu_solve``).
+
+    Singularity handling preserves the pencil semantics: a (near-)
+    singular block arises when the start vector lies in the *algebraic*
+    part of the descriptor system (``C v ≈ 0`` — e.g. MNA voltage-source
+    branch currents): the pencil has an infinite generalised eigenvalue
+    there, and the physical flow damps such components instantaneously.
+    For the **inverse** we refactor with a tiny positive identity shift,
+    mapping those directions to enormous negative exponent entries so
+    ``exp(h·Hm)`` sends them to zero (paper Sec. 3.3.3 / Lemma 1).  The
+    **row solve** keeps the historical contract instead: on a singular
+    block it reports failure (the caller treats the residual estimate as
+    "not converged"), never a silently shifted answer.
     """
-    m = h_square.shape[0]
-    try:
-        return np.linalg.solve(h_square, np.eye(m))
-    except np.linalg.LinAlgError:
-        delta = 1e-30 * (1.0 + float(np.abs(h_square).max()))
-        return np.linalg.solve(h_square + delta * np.eye(m), np.eye(m))
+
+    def __init__(self, h_square: np.ndarray):
+        self.h_square = h_square
+        self.m = h_square.shape[0]
+        with warnings.catch_warnings():
+            # lu_factor warns (LinAlgWarning) on an exactly-zero pivot;
+            # we detect that case from the U diagonal below.
+            warnings.simplefilter("ignore")
+            self._factors = scipy.linalg.lu_factor(h_square)
+        diag = np.abs(np.diag(self._factors[0]))
+        self.singular = bool(self.m) and float(diag.min()) == 0.0
+
+    def _shifted_factors(self):
+        """Factors of the identity-shifted block (singular fallback)."""
+        delta = 1e-30 * (1.0 + float(np.abs(self.h_square).max()))
+        shifted = self.h_square + delta * np.eye(self.m)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return scipy.linalg.lu_factor(shifted)
+
+    def inverse(self) -> np.ndarray:
+        """``H⁻¹`` by m substitutions against the shared factors."""
+        factors = self._shifted_factors() if self.singular else self._factors
+        return scipy.linalg.lu_solve(factors, np.eye(self.m))
+
+    def solve_transposed(self, rhs: np.ndarray) -> np.ndarray:
+        """``H^{-T} rhs`` (the ``e_m^T H⁻¹`` row of Eqs. 8/10).
+
+        Raises
+        ------
+        numpy.linalg.LinAlgError
+            If the block is exactly singular — matching the pre-factored
+            ``np.linalg.solve`` behaviour the error estimates rely on.
+        """
+        if self.singular:
+            raise np.linalg.LinAlgError(
+                "singular Hessenberg block has no H^{-1} row"
+            )
+        return scipy.linalg.lu_solve(self._factors, rhs, trans=1)
 
 
 class KrylovExpmOperator:
@@ -225,9 +270,22 @@ class KrylovExpmOperator:
     def _factor(self) -> None:
         raise NotImplementedError
 
-    def effective_hm(self, H: np.ndarray) -> np.ndarray:
-        """Map the Arnoldi Hessenberg block to the exponent matrix."""
+    def effective_hm(
+        self, H: np.ndarray, factors: HessenbergFactors | None = None
+    ) -> np.ndarray:
+        """Map the Arnoldi Hessenberg block to the exponent matrix.
+
+        ``factors`` lets callers that already factored ``H`` (the error
+        estimates, ``build_basis``) reuse the LU instead of refactoring.
+        """
         raise NotImplementedError
+
+    def _hess_factors(self, h_square: np.ndarray) -> HessenbergFactors | None:
+        """Factor the Hessenberg block once for all ``H⁻¹`` consumers.
+
+        The standard subspace never inverts ``H`` and returns ``None``.
+        """
+        return None
 
     # -- shared machinery --------------------------------------------------------
 
@@ -250,7 +308,13 @@ class KrylovExpmOperator:
         """One Arnoldi operator application: ``X1⁻¹ (X2 v)``."""
         return self._lu.solve(self._x2 @ v)
 
-    def error_estimate(self, h: float, H: np.ndarray, beta: float) -> float:
+    def error_estimate(
+        self,
+        h: float,
+        H: np.ndarray,
+        beta: float,
+        factors: HessenbergFactors | None = None,
+    ) -> float:
         """Posterior error of the current subspace at step ``h``.
 
         Base implementation: the standard-Krylov residual norm of paper
@@ -267,7 +331,11 @@ class KrylovExpmOperator:
         return beta * abs(h_next * col[m - 1])
 
     def _hinv_row_estimate(
-        self, h: float, H: np.ndarray, beta: float
+        self,
+        h: float,
+        H: np.ndarray,
+        beta: float,
+        factors: HessenbergFactors | None = None,
     ) -> float:
         """Residual estimate ``β |h_{m+1,m} · e_m^T H⁻¹ exp(h·Hm) e_1|``.
 
@@ -276,17 +344,22 @@ class KrylovExpmOperator:
         applied when ``C`` is singular, and numerically the remaining row
         functional already tracks the true error within a small factor
         (validated against dense ``expm`` in the test suite).
+
+        One LU of the small block serves both ``H⁻¹`` products — the
+        effective exponent and the ``e_m^T H⁻¹`` row.
         """
         m = H.shape[1]
         h_next = float(H[m, m - 1])
         h_square = H[:m, :m]
         try:
             with np.errstate(over="ignore", invalid="ignore"):
-                heff = self.effective_hm(h_square)
+                if factors is None:
+                    factors = self._hess_factors(h_square)
+                heff = self.effective_hm(h_square, factors=factors)
                 col = expm_e1(h * heff)
                 e_m = np.zeros(m)
                 e_m[m - 1] = 1.0
-                row = np.linalg.solve(h_square.T, e_m)  # e_m^T H^{-1}
+                row = factors.solve_transposed(e_m)  # e_m^T H^{-1}
                 est = beta * abs(h_next * float(row @ col))
         except (ValueError, np.linalg.LinAlgError):
             return np.inf
@@ -297,7 +370,11 @@ class KrylovExpmOperator:
             return np.inf
         return est
 
-    def _error_row(self, h_square: np.ndarray) -> np.ndarray:
+    def _error_row(
+        self,
+        h_square: np.ndarray,
+        factors: HessenbergFactors | None = None,
+    ) -> np.ndarray:
         """Row functional of the posterior estimate (for basis reuse)."""
         m = h_square.shape[0]
         e_m = np.zeros(m)
@@ -345,15 +422,18 @@ class KrylovExpmOperator:
                 Vm=res.V[:, :0], Hm=np.zeros((0, 0)), beta=0.0,
                 h_built=h, m=0, error_estimate=0.0, method=self.method,
             )
-        heff = self.effective_hm(res.Hm)
+        # One LU of the final Hessenberg block serves the effective
+        # exponent, the posterior estimate and the reuse error row.
+        factors = self._hess_factors(res.Hm)
+        heff = self.effective_hm(res.Hm, factors=factors)
         if res.happy_breakdown:
             err = 0.0
             h_next = 0.0
             err_row = None
         else:
-            err = self.error_estimate(h, res.H, res.beta)
+            err = self.error_estimate(h, res.H, res.beta, factors=factors)
             h_next = res.h_next
-            err_row = self._error_row(res.Hm)
+            err_row = self._error_row(res.Hm, factors=factors)
         return KrylovBasis(
             Vm=res.Vm.copy(), Hm=heff, beta=res.beta,
             h_built=h, m=res.m, error_estimate=err, method=self.method,
@@ -386,7 +466,7 @@ class StandardKrylov(KrylovExpmOperator):
 
     def _factor(self) -> None:
         try:
-            self._lu = SparseLU(self.C, label="C")
+            self._lu = FACTORIZATION_CACHE.factor(self.C, label="C")
         except FactorizationError as exc:
             raise RegularizationRequiredError(
                 "standard Krylov (MEXP) must factor C, which is singular "
@@ -395,11 +475,19 @@ class StandardKrylov(KrylovExpmOperator):
             ) from exc
         self._x2 = self.G
 
-    def effective_hm(self, H: np.ndarray) -> np.ndarray:
+    def effective_hm(
+        self, H: np.ndarray, factors: HessenbergFactors | None = None
+    ) -> np.ndarray:
         # Arnoldi ran on C⁻¹G = -A, so exp(hA) = exp(-h·H) on the subspace.
         return -H
 
-    def error_estimate(self, h: float, H: np.ndarray, beta: float) -> float:
+    def error_estimate(
+        self,
+        h: float,
+        H: np.ndarray,
+        beta: float,
+        factors: HessenbergFactors | None = None,
+    ) -> float:
         """Integrated (hump-aware) version of the Eq. (7) residual.
 
         On stiff circuits the point residual at τ = h underflows long
@@ -442,22 +530,41 @@ class InvertedKrylov(KrylovExpmOperator):
     method = "inverted"
 
     def _factor(self) -> None:
-        self._lu = SparseLU(self.G, label="G")
+        self._lu = FACTORIZATION_CACHE.factor(self.G, label="G")
         self._x2 = self.C
 
-    def effective_hm(self, H: np.ndarray) -> np.ndarray:
+    def _hess_factors(self, h_square: np.ndarray) -> HessenbergFactors:
+        return HessenbergFactors(h_square)
+
+    def effective_hm(
+        self, H: np.ndarray, factors: HessenbergFactors | None = None
+    ) -> np.ndarray:
         # Arnoldi ran on -A⁻¹ ⇒ A ≈ -H⁻¹ on the subspace.
-        return -_inv_with_infinite_modes(H)
+        if factors is None:
+            factors = self._hess_factors(H)
+        return -factors.inverse()
 
-    def error_estimate(self, h: float, H: np.ndarray, beta: float) -> float:
+    def error_estimate(
+        self,
+        h: float,
+        H: np.ndarray,
+        beta: float,
+        factors: HessenbergFactors | None = None,
+    ) -> float:
         """Eq. (8) residual estimate (regularization-free form)."""
-        return self._hinv_row_estimate(h, H, beta)
+        return self._hinv_row_estimate(h, H, beta, factors=factors)
 
-    def _error_row(self, h_square: np.ndarray) -> np.ndarray:
+    def _error_row(
+        self,
+        h_square: np.ndarray,
+        factors: HessenbergFactors | None = None,
+    ) -> np.ndarray:
         m = h_square.shape[0]
         e_m = np.zeros(m)
         e_m[m - 1] = 1.0
-        return np.linalg.solve(h_square.T, e_m)
+        if factors is None:
+            factors = self._hess_factors(h_square)
+        return factors.solve_transposed(e_m)
 
 
 class RationalKrylov(KrylovExpmOperator):
@@ -485,24 +592,44 @@ class RationalKrylov(KrylovExpmOperator):
 
     def _factor(self) -> None:
         shifted = (self.C + self.gamma * self.G).tocsc()
-        self._lu = SparseLU(shifted, label=f"C+{self.gamma:g}*G")
+        self._lu = FACTORIZATION_CACHE.factor(
+            shifted, label=f"C+{self.gamma:g}*G", key_extra=("gamma", self.gamma)
+        )
         self._x2 = self.C
 
-    def effective_hm(self, H: np.ndarray) -> np.ndarray:
+    def _hess_factors(self, h_square: np.ndarray) -> HessenbergFactors:
+        return HessenbergFactors(h_square)
+
+    def effective_hm(
+        self, H: np.ndarray, factors: HessenbergFactors | None = None
+    ) -> np.ndarray:
         # Arnoldi ran on (I-γA)⁻¹ ⇒ A ≈ (I - H̃⁻¹)/γ on the subspace.
         m = H.shape[0]
-        h_inv = _inv_with_infinite_modes(H)
-        return (np.eye(m) - h_inv) / self.gamma
+        if factors is None:
+            factors = self._hess_factors(H)
+        return (np.eye(m) - factors.inverse()) / self.gamma
 
-    def error_estimate(self, h: float, H: np.ndarray, beta: float) -> float:
+    def error_estimate(
+        self,
+        h: float,
+        H: np.ndarray,
+        beta: float,
+        factors: HessenbergFactors | None = None,
+    ) -> float:
         """Eq. (10) residual estimate (regularization-free form)."""
-        return self._hinv_row_estimate(h, H, beta)
+        return self._hinv_row_estimate(h, H, beta, factors=factors)
 
-    def _error_row(self, h_square: np.ndarray) -> np.ndarray:
+    def _error_row(
+        self,
+        h_square: np.ndarray,
+        factors: HessenbergFactors | None = None,
+    ) -> np.ndarray:
         m = h_square.shape[0]
         e_m = np.zeros(m)
         e_m[m - 1] = 1.0
-        return np.linalg.solve(h_square.T, e_m)
+        if factors is None:
+            factors = self._hess_factors(h_square)
+        return factors.solve_transposed(e_m)
 
 
 def make_krylov_operator(

@@ -97,7 +97,7 @@ class TestTable:
         text = t.render()
         lines = text.splitlines()
         assert lines[0] == "demo"
-        assert all(len(l) == len(lines[1]) for l in lines[1:])
+        assert all(len(row) == len(lines[1]) for row in lines[1:])
 
     def test_row_width_validation(self):
         t = Table(["a"])

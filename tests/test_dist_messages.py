@@ -116,6 +116,7 @@ class TestDistributedResultPickling:
             SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-8),
         ).run(1e-9)
         d2 = roundtrip(dres)
+        assert isinstance(d2, DistributedResult)
         assert d2.n_nodes == dres.n_nodes
         assert d2.tr_matex == dres.tr_matex
         assert d2.tr_total == dres.tr_total

@@ -107,5 +107,13 @@ def test_response_scales_linearly(net, scale):
         )
     scaled_system = assemble(scaled_net)
     _, scaled = exact_transient(scaled_system, x0, t_end)
+    # The dense oracle is exact only to expm accuracy, and the scaled
+    # input changes the augmented matrix norm — the Padé scaling/
+    # squaring branch can differ between the two runs.  A hypothesis-
+    # found 3-node RC net with scale=4.0 measured a worst relative
+    # deviation of 1.17e-5 between the two oracle runs (just over
+    # numpy's default rtol=1e-5), flaking this test with the original
+    # absolute-only tolerance.  Linearity violations from an actual bug
+    # would be O(1), so 1e-4 relative keeps the property sharp.
     tol = 1e-9 * max(1.0, np.abs(scaled).max())
-    assert np.allclose(scaled, scale * base, atol=tol)
+    assert np.allclose(scaled, scale * base, rtol=1e-4, atol=tol)
