@@ -54,6 +54,54 @@ def test_distributed_matex(benchmark, pg1t, record_metric):
     record_metric("tr_total_seconds", dres.tr_total)
 
 
+def test_block_batched_march(pg1t, record_metric):
+    """The block-batched fast path vs the per-node emulated run.
+
+    One lockstep march advances all 100 node tasks together; the
+    superposed trajectory must be **bit-for-bit** the per-node one
+    (Table 3 numbers unchanged) while the wall time drops at least 3×.
+    The per-node run's tr_matex/tr_total model numbers are recorded by
+    ``test_distributed_matex``; this test records the measured walls.
+    """
+    import time
+
+    system, case = pg1t
+    pernode = MatexScheduler(system, OPTS, decomposition="bump")
+    batched = MatexScheduler(system, OPTS, decomposition="bump",
+                             batch="auto")
+
+    ref = pernode.run(case.t_end)   # warm caches for both paths
+    blk = batched.run(case.t_end)
+    assert blk.n_nodes == ref.n_nodes == 100
+    assert blk.result.states.tobytes() == ref.result.states.tobytes()
+    assert blk.result.times.tobytes() == ref.result.times.tobytes()
+    assert (blk.total_substitution_pairs
+            == ref.total_substitution_pairs)
+
+    # Interleaved best-of-5: alternating the two paths keeps slow
+    # drifts (thermal, co-tenancy) from biasing either side's minimum.
+    pernode_walls, batched_walls = [], []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        pernode.run(case.t_end)
+        pernode_walls.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched.run(case.t_end)
+        batched_walls.append(time.perf_counter() - t0)
+    pernode_wall = min(pernode_walls)
+    batched_wall = min(batched_walls)
+    speedup = pernode_wall / batched_wall
+
+    record_metric("pernode_wall_seconds", pernode_wall)
+    record_metric("batched_wall_seconds", batched_wall)
+    record_metric("batched_speedup", speedup)
+    assert speedup >= 3.0, (
+        f"block-batched march must be >= 3x faster than the per-node "
+        f"emulated run, got {speedup:.2f}x "
+        f"({pernode_wall:.3f}s vs {batched_wall:.3f}s)"
+    )
+
+
 def test_factorization_cache_warm_run(pg1t, record_metric):
     """Cold vs warm distributed run on the same pencil.
 

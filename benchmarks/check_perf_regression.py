@@ -1,0 +1,131 @@
+"""Perf-regression gate: compare fresh benchmark JSONs to baselines.
+
+Every benchmark module writes ``benchmarks/results/<module>.json`` with
+one entry per test (wall seconds + metrics + peak RSS — see
+``conftest.py``).  CI snapshots the committed baselines, re-runs the
+gated benches, and calls this script::
+
+    python benchmarks/check_perf_regression.py BASELINE_DIR FRESH_DIR \
+        --modules bench_kernels bench_table3_distributed --factor 1.5
+
+A test regresses when its fresh wall time exceeds ``factor`` times the
+committed baseline.  Tests without a baseline entry (newly added) and
+sub-threshold timings (< ``--min-seconds``, pure noise) are reported
+but never fail the gate.  The factor can be overridden with the
+``PERF_GATE_FACTOR`` environment variable (e.g. for slow CI runners).
+
+Exit status: 0 when no gated test regressed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_MODULES = ("bench_kernels", "bench_table3_distributed")
+
+
+def load_results(path: Path) -> dict[str, dict]:
+    """``{test name -> entry}`` from one module's results JSON."""
+    payload = json.loads(path.read_text())
+    return {t["name"]: t for t in payload.get("tests", [])}
+
+
+def compare_module(
+    module: str,
+    baseline_dir: Path,
+    fresh_dir: Path,
+    factor: float,
+    min_seconds: float,
+) -> list[str]:
+    """Return the list of regression messages for one module."""
+    baseline_path = baseline_dir / f"{module}.json"
+    fresh_path = fresh_dir / f"{module}.json"
+    if not fresh_path.exists():
+        return [f"{module}: fresh results missing ({fresh_path})"]
+    if not baseline_path.exists():
+        print(f"{module}: no committed baseline — skipping (first run?)")
+        return []
+
+    baseline = load_results(baseline_path)
+    fresh = load_results(fresh_path)
+    failures: list[str] = []
+
+    for name, base_entry in sorted(baseline.items()):
+        base_wall = base_entry.get("wall_seconds")
+        fresh_entry = fresh.get(name)
+        if fresh_entry is None:
+            print(f"{module}::{name}: missing from fresh run (renamed?)")
+            continue
+        fresh_wall = fresh_entry.get("wall_seconds")
+        if base_wall is None or fresh_wall is None:
+            continue
+        ratio = fresh_wall / base_wall if base_wall > 0 else float("inf")
+        verdict = "ok"
+        if fresh_wall >= min_seconds and ratio > factor:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{module}::{name}: {base_wall:.3f}s -> {fresh_wall:.3f}s "
+                f"({ratio:.2f}x > {factor:.2f}x)"
+            )
+        print(
+            f"{module}::{name}: baseline {base_wall:.3f}s, "
+            f"fresh {fresh_wall:.3f}s ({ratio:.2f}x) [{verdict}]"
+        )
+
+    base_rss = max(
+        (e.get("peak_rss_kb", 0) for e in baseline.values()), default=0
+    )
+    fresh_rss = max(
+        (e.get("peak_rss_kb", 0) for e in fresh.values()), default=0
+    )
+    if base_rss and fresh_rss:
+        print(
+            f"{module}: peak RSS baseline {base_rss / 1024:.0f} MiB, "
+            f"fresh {fresh_rss / 1024:.0f} MiB "
+            f"({fresh_rss / base_rss:.2f}x, informational)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark wall-time regressions."
+    )
+    parser.add_argument("baseline_dir", type=Path,
+                        help="directory with the committed baseline JSONs")
+    parser.add_argument("fresh_dir", type=Path,
+                        help="directory with freshly generated JSONs")
+    parser.add_argument("--modules", nargs="*", default=list(DEFAULT_MODULES),
+                        help="module stems to gate (default: kernel + "
+                             "Table-3 benches)")
+    parser.add_argument("--factor", type=float,
+                        default=float(os.environ.get("PERF_GATE_FACTOR",
+                                                     "1.5")),
+                        help="allowed slowdown factor (default 1.5, or "
+                             "PERF_GATE_FACTOR)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore tests faster than this (timer noise)")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    for module in args.modules:
+        failures.extend(
+            compare_module(module, args.baseline_dir, args.fresh_dir,
+                           args.factor, args.min_seconds)
+        )
+
+    if failures:
+        print("\nPerformance regressions detected:")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    print("\nNo performance regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,10 +14,30 @@ tracked across PRs (and uploaded as a CI artifact).
 from __future__ import annotations
 
 import json
+import sys
 import time
 from pathlib import Path
 
 import pytest
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+
+def _peak_rss_kb() -> int | None:
+    """Process peak RSS in KiB; None if unknown.
+
+    ``ru_maxrss`` is KiB on Linux but **bytes** on macOS — normalise so
+    baselines regenerated on either platform stay comparable.
+    """
+    if resource is None:
+        return None
+    rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":
+        rss //= 1024
+    return rss
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -33,10 +53,20 @@ def _entry(request) -> dict:
 
 @pytest.fixture(autouse=True)
 def _record_wall_time(request):
-    """Time every benchmark test into the module's JSON record."""
+    """Time every benchmark test (and its peak RSS) into the JSON record.
+
+    ``peak_rss_kb`` is the process high-water mark at test end — a
+    monotone quantity, so per-test values tell which test first pushed
+    memory to a new peak; the perf-regression gate tracks the module
+    maximum.
+    """
     t0 = time.perf_counter()
     yield
-    _entry(request)["wall_seconds"] = round(time.perf_counter() - t0, 6)
+    entry = _entry(request)
+    entry["wall_seconds"] = round(time.perf_counter() - t0, 6)
+    rss = _peak_rss_kb()
+    if rss is not None:
+        entry["peak_rss_kb"] = rss
 
 
 @pytest.fixture

@@ -264,33 +264,68 @@ class MNASystem:
         du = self.input_vector(t1, active) - self.input_vector(t0, active)
         return np.asarray(self.B @ (du / (t1 - t0))).ravel()
 
+    def bu_scatter_terms(self, times: np.ndarray, cols):
+        """Per-column scatter terms of ``B @ u(t)`` over a time grid.
+
+        Yields ``(rows, vals, u_row)`` per non-empty ``B`` column in
+        the order of ``cols``.  This generator is the **single source
+        of the scatter accumulation order**: both the dense
+        :meth:`bu_series` and the block runner's compact per-task input
+        grids accumulate these exact terms in this exact order, which
+        is what keeps the two representations bit-for-bit consistent.
+        """
+        indptr, indices, data = self.B.indptr, self.B.indices, self.B.data
+        for col in cols:
+            lo, hi = indptr[col], indptr[col + 1]
+            if lo == hi:
+                continue
+            yield (
+                indices[lo:hi],
+                data[lo:hi],
+                self.waveforms[col].values_array(times),
+            )
+
     def bu_series(
         self, times: np.ndarray, active: Sequence[int] | None = None
     ) -> np.ndarray:
         """``B @ u(t)`` for a whole time grid at once, shape ``(dim, k)``.
 
-        Used by the fixed-step baselines, which would otherwise evaluate
-        thousands of waveforms per step in Python loops.  Inputs are
-        evaluated column-block-wise to bound peak memory.
+        Used by the fixed-step baselines and the block node runner,
+        which would otherwise evaluate thousands of waveforms per step
+        in Python loops.  Each input column is evaluated over the whole
+        grid (``values_array``) and scattered through its ``B`` column
+        directly — the same per-element accumulation order a CSC
+        mat-mat product performs, without materialising the ``B[:,
+        cols]`` slice (sparse fancy indexing costs more than the
+        product for the small per-node column sets).
         """
         times = np.asarray(times, dtype=float)
         k = times.shape[0]
         out = np.zeros((self.dim, k))
-        cols = list(range(self.n_inputs)) if active is None else list(active)
-        chunk = 512
-        for start in range(0, len(cols), chunk):
-            block = cols[start:start + chunk]
-            u_block = np.empty((len(block), k))
-            for row, col in enumerate(block):
-                u_block[row] = self.waveforms[col].values_array(times)
-            out += self.B[:, block] @ u_block
+        cols = range(self.n_inputs) if active is None else active
+        for rows, vals, u_row in self.bu_scatter_terms(times, cols):
+            out[rows] += vals[:, None] * u_row[None, :]
         return out
 
     # -- transition spots -----------------------------------------------------------
 
     def local_transition_spots(self, k: int, t_end: float) -> list[float]:
-        """LTS of input column ``k`` (paper Sec. 3.1 definition)."""
-        return self.waveforms[k].transition_spots(t_end)
+        """LTS of input column ``k`` (paper Sec. 3.1 definition).
+
+        Cached per ``(column, t_end)``: a decomposed run builds one
+        schedule per node task over the same horizon, and pulse spot
+        generation in Python is a measurable slice of that.
+        """
+        cache = getattr(self, "_lts_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_lts_cache", cache)
+        key = (k, t_end)
+        spots = cache.get(key)
+        if spots is None:
+            spots = self.waveforms[k].transition_spots(t_end)
+            cache[key] = spots
+        return list(spots)
 
     def global_transition_spots(
         self, t_end: float, active: Sequence[int] | None = None

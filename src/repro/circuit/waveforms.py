@@ -34,6 +34,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 __all__ = ["Waveform", "DC", "PWL", "Pulse", "BumpShape"]
@@ -78,14 +79,18 @@ class Waveform:
     def values_array(self, times) -> "np.ndarray":
         """Vectorised evaluation over a numpy array of times.
 
-        The base implementation falls back to scalar evaluation;
-        :class:`DC`, :class:`PWL` and :class:`Pulse` provide O(n log n)
-        numpy versions used by the fixed-step baselines, which evaluate
-        thousands of sources on thousand-point grids.
+        Every concrete waveform shipped here (:class:`DC`, :class:`PWL`,
+        :class:`Pulse`) overrides this with a true numpy implementation
+        (constant fill / ``np.interp``) — the batched source-assembly
+        paths (:meth:`repro.circuit.mna.MNASystem.bu_series`, the block
+        node runner) evaluate whole time grids through it.  This base
+        fallback exists only for third-party subclasses; it preserves
+        the input shape but costs one Python call per point.
         """
         import numpy as np
 
-        return np.array([self.value(float(t)) for t in np.asarray(times).ravel()])
+        t = np.asarray(times, dtype=float)
+        return np.array([self.value(float(v)) for v in t.ravel()]).reshape(t.shape)
 
     def is_constant(self) -> bool:
         """True when the waveform never changes (used for DC-only nodes)."""
@@ -166,11 +171,18 @@ class PWL(Waveform):
         t1, v1 = pts[i + 1]
         return (v1 - v0) / (t1 - t0)
 
-    def values_array(self, times):
+    @cached_property
+    def _interp_table(self):
         import numpy as np
 
         xp = np.array([t for t, _ in self.points])
         fp = np.array([v for _, v in self.points])
+        return xp, fp
+
+    def values_array(self, times):
+        import numpy as np
+
+        xp, fp = self._interp_table
         return np.interp(np.asarray(times, dtype=float), xp, fp)
 
     def transition_spots(self, t_end: float) -> list[float]:
@@ -312,6 +324,19 @@ class Pulse(Waveform):
     def slope(self, t: float) -> float:
         return self._bump_slope(self._fold(t))
 
+    @cached_property
+    def _interp_table(self):
+        import numpy as np
+
+        xp = np.array([
+            0.0,
+            self.t_rise,
+            self.t_rise + self.t_width,
+            self.t_rise + self.t_width + self.t_fall,
+        ])
+        fp = np.array([self.v1, self.v2, self.v2, self.v1])
+        return xp, fp
+
     def values_array(self, times):
         import numpy as np
 
@@ -320,15 +345,8 @@ class Pulse(Waveform):
         if self.t_period is not None:
             positive = tau >= 0.0
             tau = np.where(positive, np.fmod(tau, self.t_period), tau)
-        xp = np.array([
-            0.0,
-            self.t_rise,
-            self.t_rise + self.t_width,
-            self.t_rise + self.t_width + self.t_fall,
-        ])
-        fp = np.array([self.v1, self.v2, self.v2, self.v1])
-        out = np.interp(tau, xp, fp, left=self.v1, right=self.v1)
-        return out
+        xp, fp = self._interp_table
+        return np.interp(tau, xp, fp, left=self.v1, right=self.v1)
 
     def transition_spots(self, t_end: float) -> list[float]:
         spots = [0.0]

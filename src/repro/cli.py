@@ -47,6 +47,23 @@ from repro.engine import (
 __all__ = ["main", "build_parser"]
 
 
+def _batch_policy(value: str):
+    """argparse type for ``--batch``: off | auto | positive int."""
+    if value in ("off", "auto"):
+        return value
+    try:
+        width = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'off', 'auto' or a positive integer, got {value!r}"
+        ) from None
+    if width < 1:
+        raise argparse.ArgumentTypeError(
+            f"batch width must be >= 1, got {width}"
+        )
+    return width
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing and doc generation)."""
     parser = argparse.ArgumentParser(
@@ -89,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "(MATEX methods only)")
     sim.add_argument("--decomposition", default="bump",
                      choices=["bump", "source", "bump-split"])
+    sim.add_argument(
+        "--batch", default="off", type=_batch_policy,
+        help="block-batching policy for --distributed: off (reference "
+             "per-node marches, default) | auto (one lockstep block "
+             "march, bit-identical and several times faster) | <int> "
+             "(fixed lockstep width per worker)")
     sim.add_argument("--nodes", nargs="*", default=None,
                      help="node voltages to export (default: all)")
     sim.add_argument("--out", type=Path, default=None,
@@ -175,7 +198,7 @@ def _cmd_simulate(args) -> int:
             eps_rel=args.eps,
         )
         dres = MatexScheduler(
-            system, opts, decomposition=args.decomposition
+            system, opts, decomposition=args.decomposition, batch=args.batch
         ).run(t_end)
         result = dres.result
         print(f"distributed: {dres.n_nodes} nodes, "

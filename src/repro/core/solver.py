@@ -37,7 +37,13 @@ from repro.engine.sinks import ResultSink
 from repro.linalg.krylov import make_krylov_operator
 from repro.linalg.lu import FACTORIZATION_CACHE
 
-__all__ = ["MatexSolver"]
+__all__ = ["MatexSolver", "REUSE_SAFETY"]
+
+#: Basis reuse is accepted while the re-evaluated posterior error stays
+#: within this factor of the generation-time budget (Fig. 5 says it
+#: normally *shrinks* with h; the guard catches exceptions).  Shared
+#: with the block-batched runner so reuse decisions coincide.
+REUSE_SAFETY = 10.0
 
 
 @dataclass
@@ -176,10 +182,7 @@ class MatexSolver:
         points = schedule.points
 
         state = _Alg2State(eps_segment=opts.eps_abs, alts=points[0])
-        # Reuse is accepted while the re-evaluated posterior error stays
-        # within this factor of the generation-time budget (Fig. 5 says
-        # it normally *shrinks* with h; the guard catches exceptions).
-        reuse_safety = 10.0
+        reuse_safety = REUSE_SAFETY
 
         # Solve counts are taken as deltas around each call so the
         # shared-LU case (inverted method) attributes every substitution
@@ -194,9 +197,28 @@ class MatexSolver:
             np.asarray(points), active=active_inputs
         )
         if self.deviation_mode:
-            bu_grid = bu_grid - bu_grid[:, :1]
+            bu0 = bu_grid[:, 0].copy()
+            bu_grid -= bu0[:, None]
 
-        def advance(i: int, t: float, t_next: float, x: np.ndarray):
+        def finish_step(y: np.ndarray, h: float, out: np.ndarray | None):
+            """``y − P(h)`` — in place when the loop provides a buffer.
+
+            The ufunc ``out=`` chain performs the identical operations
+            (``h·w2``, ``F − ·``, ``y − ·``) as the allocating
+            ``y − segment.P(h)``, so the results are bit-for-bit equal.
+            """
+            seg = state.segment
+            if out is None:
+                return y - seg.P(h)
+            np.multiply(seg.w2, h, out=out)
+            np.subtract(seg.F, out, out=out)
+            np.subtract(y, out, out=out)
+            return out
+
+        def advance(
+            i: int, t: float, t_next: float, x: np.ndarray,
+            out: np.ndarray | None = None,
+        ):
             """One Alg. 2 step: fresh basis at an LTS, reuse at a snapshot."""
             h = t_next - t
             if schedule.is_lts[i] or state.basis is None:
@@ -222,7 +244,7 @@ class MatexSolver:
                 stats.krylov_dims.append(state.basis.m)
                 state.alts = t
                 state.v_alts = v
-                return state.basis.evaluate(h) - state.segment.P(h)
+                return finish_step(state.basis.evaluate(h), h, out)
 
             # Snapshot: reuse the basis generated at `alts`, after
             # re-checking its posterior error at the longer step.
@@ -240,8 +262,9 @@ class MatexSolver:
                 y = state.basis.evaluate(ha)
             else:
                 stats.n_reuses += 1
-            return y - state.segment.P(ha)
+            return finish_step(y, ha, out)
 
+        advance.supports_out = True
         loop = SteppingLoop(self.system.dim, stats, sink=sink)
         times, states = loop.march_grid(points, x, advance)
 

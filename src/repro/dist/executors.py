@@ -3,20 +3,28 @@
 Two interchangeable backends run a batch of
 :class:`~repro.dist.messages.SimulationTask` messages:
 
-* :class:`SerialExecutor` — one in-process :class:`NodeWorker` serves
-  every task in order.  This *emulates* the cluster: wall-clock is the
-  sum over nodes, but the recorded per-node statistics (and therefore
-  the paper's max-over-nodes ``trmatex``) are identical to a real
-  deployment, which is what Table 3 reports.
+* :class:`SerialExecutor` — one in-process worker serves every task.
+  This *emulates* the cluster: wall-clock is the sum over nodes, but the
+  recorded per-node statistics (and therefore the paper's max-over-nodes
+  ``trmatex``) are identical to a real deployment, which is what Table 3
+  reports.
 * :class:`MultiprocessExecutor` — a ``concurrent.futures`` process pool;
-  each worker process builds its own :class:`NodeWorker` once (its own
-  factorisations, like a physical node) and tasks travel as pickled
-  messages.  Results come back in task order and worker exceptions
-  propagate to the caller.
+  each worker process builds its own solver state once (its own
+  factorisations, like a physical node).  Tasks travel as pickled
+  messages; results can travel back **zero-copy** through
+  ``multiprocessing.shared_memory`` (trajectory arrays stay in shared
+  segments, only metadata is pickled — see :mod:`repro.dist.messages`).
+
+Both executors optionally run the **block-batched fast path**
+(:class:`~repro.dist.block_runner.BlockNodeRunner`): ``batch_width``
+groups tasks into lockstep batches whose results are bit-for-bit
+identical to the per-task path.  ``batch_width=None`` keeps the
+reference per-task workers.
 
 Both executors are deterministic: a task's floating-point trajectory
-depends only on the task itself, never on which worker ran it or in what
-order, so serial and multiprocess runs agree bit-for-bit.
+depends only on the task itself, never on which worker ran it, in what
+order, or in which batch, so serial, multiprocess, per-node and batched
+runs all agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -27,10 +35,38 @@ from typing import Iterable, Sequence
 
 from repro.circuit.mna import MNASystem
 from repro.core.options import SolverOptions
+from repro.dist.block_runner import BlockNodeRunner
 from repro.dist.messages import NodeResult, SimulationTask
+from repro.dist.shm import (
+    cleanup_segments,
+    from_shared,
+    new_segment_prefix,
+    shm_available,
+    to_shared,
+)
 from repro.dist.worker import NodeWorker
 
 __all__ = ["Executor", "SerialExecutor", "MultiprocessExecutor"]
+
+
+def _resolve_batch_width(batch_width, n_tasks: int) -> int | None:
+    """Normalise a batch-width policy to a concrete width (or None).
+
+    ``None`` → per-task reference path; ``"auto"`` → one lockstep batch
+    over all tasks; an integer → fixed-width chunks.
+    """
+    if batch_width is None:
+        return None
+    if batch_width == "auto":
+        return max(n_tasks, 1)
+    width = int(batch_width)
+    if width < 1:
+        raise ValueError(f"batch_width must be >= 1, got {batch_width!r}")
+    return width
+
+
+def _chunks(tasks: list, width: int) -> list[list]:
+    return [tasks[i:i + width] for i in range(0, len(tasks), width)]
 
 
 class Executor:
@@ -49,12 +85,29 @@ class Executor:
 
 
 class SerialExecutor(Executor):
-    """In-process emulation: one long-lived worker runs every task."""
+    """In-process emulation: one long-lived worker runs every task.
 
-    def __init__(self, system: MNASystem, options: SolverOptions | None = None):
+    Parameters
+    ----------
+    system, options:
+        The full MNA system and shared solver options.
+    batch_width:
+        ``None`` (default) — reference per-task :class:`NodeWorker`
+        marches.  ``"auto"`` — one :class:`BlockNodeRunner` lockstep
+        batch over all tasks.  ``int`` — lockstep batches of that width.
+    """
+
+    def __init__(
+        self,
+        system: MNASystem,
+        options: SolverOptions | None = None,
+        batch_width=None,
+    ):
         self.system = system
         self.options = options if options is not None else SolverOptions()
+        self.batch_width = batch_width
         self._worker: NodeWorker | None = None
+        self._runner: BlockNodeRunner | None = None
 
     @property
     def worker(self) -> NodeWorker:
@@ -63,26 +116,66 @@ class SerialExecutor(Executor):
             self._worker = NodeWorker(self.system, self.options)
         return self._worker
 
+    @property
+    def runner(self) -> BlockNodeRunner:
+        """The lazily-built block runner (same amortisation)."""
+        if self._runner is None:
+            self._runner = BlockNodeRunner(self.system, self.options)
+        return self._runner
+
     def run(self, tasks: Sequence[SimulationTask]) -> list[NodeResult]:
-        worker = self.worker if tasks else None
-        return [worker.run(task) for task in tasks]
+        tasks = list(tasks)
+        width = _resolve_batch_width(self.batch_width, len(tasks))
+        if width is None:
+            worker = self.worker if tasks else None
+            return [worker.run(task) for task in tasks]
+        out: list[NodeResult] = []
+        for chunk in _chunks(tasks, width):
+            out.extend(self.runner.run(chunk))
+        return out
 
 
 # -- multiprocess backend ----------------------------------------------------------
 
-# Per-process worker singleton: built once by the pool initializer so the
-# node's factorisations are paid once per process, not once per task.
+# Per-process state: the pool initializer stores the configuration and
+# the per-task worker / block runner are each built lazily on first use,
+# so only the path a pool actually runs pays its solver construction —
+# and reports its construction-time factor-cache traffic.
+_PROCESS_CONFIG: tuple[MNASystem, SolverOptions, str | None] | None = None
 _PROCESS_WORKER: NodeWorker | None = None
+_PROCESS_RUNNER: BlockNodeRunner | None = None
 
 
-def _init_process_worker(system: MNASystem, options: SolverOptions) -> None:
-    global _PROCESS_WORKER
-    _PROCESS_WORKER = NodeWorker(system, options)
+def _init_process_worker(
+    system: MNASystem, options: SolverOptions, shm_prefix: str | None
+) -> None:
+    global _PROCESS_CONFIG, _PROCESS_WORKER, _PROCESS_RUNNER
+    _PROCESS_CONFIG = (system, options, shm_prefix)
+    _PROCESS_WORKER = None
+    _PROCESS_RUNNER = None
+
+
+def _maybe_share(result: NodeResult) -> NodeResult:
+    shm_prefix = _PROCESS_CONFIG[2]
+    if shm_prefix is None:
+        return result
+    return to_shared(result, shm_prefix)
 
 
 def _run_in_process(task: SimulationTask) -> NodeResult:
-    assert _PROCESS_WORKER is not None, "pool initializer did not run"
-    return _PROCESS_WORKER.run(task)
+    global _PROCESS_WORKER
+    assert _PROCESS_CONFIG is not None, "pool initializer did not run"
+    if _PROCESS_WORKER is None:
+        _PROCESS_WORKER = NodeWorker(*_PROCESS_CONFIG[:2])
+    return _maybe_share(_PROCESS_WORKER.run(task))
+
+
+def _run_chunk_in_process(tasks: list[SimulationTask]) -> list[NodeResult]:
+    global _PROCESS_RUNNER
+    assert _PROCESS_CONFIG is not None, "pool initializer did not run"
+    if _PROCESS_RUNNER is None:
+        _PROCESS_RUNNER = BlockNodeRunner(*_PROCESS_CONFIG[:2])
+    return [_maybe_share(r) for r in _PROCESS_RUNNER.run(tasks)]
 
 
 class MultiprocessExecutor(Executor):
@@ -97,13 +190,25 @@ class MultiprocessExecutor(Executor):
         Solver options shared by all workers.
     max_workers:
         Pool size; defaults to ``os.cpu_count()``.
+    batch_width:
+        ``None`` (default) — one pickled task per pool job, reference
+        per-task marches.  ``"auto"`` — tasks are split into one
+        lockstep chunk per worker, each marched by that process's
+        :class:`BlockNodeRunner`.  ``int`` — fixed chunk width.
+    transport:
+        ``"auto"`` (default) — trajectory arrays return through
+        ``multiprocessing.shared_memory`` when the platform supports
+        it, with only metadata pickled; ``"shm"`` forces it, and
+        ``"pickle"`` forces the classic pipe transport.
 
     Notes
     -----
     The pool is created per :meth:`run` call and torn down afterwards so
     no processes linger between experiments.  Exceptions raised inside a
     worker are re-raised here, on the first failing task in submission
-    order.
+    order; shared-memory segments created by a crashed worker are swept
+    up before the exception propagates (see
+    :func:`repro.dist.shm.cleanup_segments`).
     """
 
     def __init__(
@@ -111,21 +216,65 @@ class MultiprocessExecutor(Executor):
         system: MNASystem,
         options: SolverOptions | None = None,
         max_workers: int | None = None,
+        batch_width=None,
+        transport: str = "auto",
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if transport not in ("auto", "shm", "pickle"):
+            raise ValueError(
+                f"transport must be 'auto', 'shm' or 'pickle', "
+                f"got {transport!r}"
+            )
+        if transport == "shm" and not shm_available():
+            raise ValueError(
+                "transport='shm' requires POSIX shared memory with a "
+                "/dev/shm namespace (for crash cleanup); use 'auto' "
+                "(falls back to pickle) on this platform"
+            )
         self.system = system
         self.options = options if options is not None else SolverOptions()
         self.max_workers = max_workers
+        self.batch_width = batch_width
+        self.transport = transport
+
+    def _use_shm(self) -> bool:
+        if self.transport == "pickle":
+            return False
+        if self.transport == "shm":
+            return True
+        return shm_available()
 
     def run(self, tasks: Sequence[SimulationTask]) -> list[NodeResult]:
         tasks = list(tasks)
         if not tasks:
             return []
         n_workers = min(self.max_workers or os.cpu_count() or 1, len(tasks))
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_init_process_worker,
-            initargs=(self.system, self.options),
-        ) as pool:
-            return list(pool.map(_run_in_process, tasks))
+        width = self.batch_width
+        if width == "auto":
+            # One lockstep chunk per worker process.
+            width = -(-len(tasks) // n_workers)
+        width = _resolve_batch_width(width, len(tasks))
+
+        prefix = new_segment_prefix() if self._use_shm() else None
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_process_worker,
+                initargs=(self.system, self.options, prefix),
+            ) as pool:
+                if width is None:
+                    raw = list(pool.map(_run_in_process, tasks))
+                else:
+                    raw = [
+                        r
+                        for chunk_results in pool.map(
+                            _run_chunk_in_process, _chunks(tasks, width)
+                        )
+                        for r in chunk_results
+                    ]
+            return [from_shared(r) for r in raw]
+        except BaseException:
+            if prefix is not None:
+                cleanup_segments(prefix)
+            raise

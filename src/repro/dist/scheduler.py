@@ -59,6 +59,15 @@ class MatexScheduler:
         Optional cap on the node count; natural groups are merged
         round-robin to fit (each node's LTS grows — the paper's graceful
         degradation when the cluster is smaller than the bump count).
+    batch:
+        Block-batching policy for the default executor: ``"off"``
+        (default) runs the reference per-node marches; ``"auto"``
+        advances every node task in one lockstep
+        :class:`~repro.dist.block_runner.BlockNodeRunner` batch
+        (bit-for-bit identical results, a fraction of the wall time);
+        an integer fixes the lockstep width.  Ignored when an explicit
+        ``executor`` is passed to :meth:`run` — configure that executor
+        directly instead.
     """
 
     def __init__(
@@ -67,6 +76,7 @@ class MatexScheduler:
         options: SolverOptions | None = None,
         decomposition: str = "bump",
         max_nodes: int | None = None,
+        batch="off",
     ):
         if decomposition not in DECOMPOSITIONS:
             raise ValueError(
@@ -75,10 +85,18 @@ class MatexScheduler:
             )
         if max_nodes is not None and max_nodes < 1:
             raise ValueError(f"max_nodes must be >= 1, got {max_nodes}")
+        if batch not in ("off", "auto") and not (
+            isinstance(batch, int) and not isinstance(batch, bool) and batch >= 1
+        ):
+            raise ValueError(
+                f"batch must be 'off', 'auto' or a positive width, "
+                f"got {batch!r}"
+            )
         self.system = system
         self.options = options if options is not None else SolverOptions()
         self.decomposition = decomposition
         self.max_nodes = max_nodes
+        self.batch = batch
 
     # -- decomposition ---------------------------------------------------------
 
@@ -155,7 +173,10 @@ class MatexScheduler:
         ]
 
         if executor is None:
-            executor = SerialExecutor(self.system, self.options)
+            batch_width = None if self.batch == "off" else self.batch
+            executor = SerialExecutor(
+                self.system, self.options, batch_width=batch_width
+            )
         node_results = sorted(executor.run(tasks), key=lambda r: r.task_id)
 
         # Write-back: superpose deviations onto the operating point.

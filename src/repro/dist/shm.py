@@ -1,0 +1,167 @@
+"""Zero-copy result transport over ``multiprocessing.shared_memory``.
+
+A :class:`~repro.dist.messages.NodeResult` carries a ``(K × dim)``
+trajectory — the dominant payload of a distributed run.  Returning it
+through the process-pool pipe pickles every byte twice (serialise +
+deserialise).  This module moves the trajectory through a POSIX shared
+memory segment instead: the worker copies its states block into a
+segment once, and only the **metadata** (segment name, shape, dtype —
+a :class:`ShmArrayRef`) travels through the pipe.  The parent maps the
+segment and hands numpy a zero-copy view.
+
+Lifecycle contract
+------------------
+* The **worker** creates the segment, fills it, closes its mapping and
+  *unregisters* it from its ``resource_tracker`` — ownership transfers
+  to the parent through the returned ref.
+* The **parent** attaches, immediately *unlinks* the name (POSIX keeps
+  the memory alive while mapped), and ties the mapping's close to the
+  result array's garbage collection.
+* If a worker dies before handing over (SIGKILL, crash), the name would
+  leak — :func:`cleanup_segments` sweeps every segment carrying the
+  run's unique prefix; the executor calls it on any pool failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import uuid
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.dist.messages import NodeResult
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+__all__ = [
+    "ShmArrayRef",
+    "shm_available",
+    "new_segment_prefix",
+    "to_shared",
+    "from_shared",
+    "cleanup_segments",
+]
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Pickled stand-in for a trajectory array living in shared memory."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+def shm_available() -> bool:
+    """Whether the shared-memory transport can be used on this platform.
+
+    Requires a ``/dev/shm`` view of the segment namespace in addition
+    to POSIX shared memory: without it :func:`cleanup_segments` cannot
+    sweep the segments of a crashed worker, and the transport would
+    trade a pickling cost for a potential memory leak.
+    """
+    return (
+        shared_memory is not None
+        and os.name == "posix"
+        and Path("/dev/shm").is_dir()
+    )
+
+
+def new_segment_prefix() -> str:
+    """A run-unique segment-name prefix (also the cleanup sweep key)."""
+    return f"repro{os.getpid()}x{uuid.uuid4().hex[:8]}"
+
+
+def _unregister(raw_name: str) -> None:
+    """Drop a segment from the creating process's resource tracker.
+
+    Only the **worker** (creator) side calls this — it transfers
+    ownership to the parent, so a worker tracker (its own process on
+    spawn platforms) never destroys the segment before the parent
+    attaches.  The parent side must *not* unregister explicitly:
+    attaching registers the name once more and ``unlink()`` already
+    unregisters it, so an extra call would underflow the tracker's
+    bookkeeping.
+    """
+    try:  # pragma: no cover - tracker layout is a CPython internal
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(raw_name, "shared_memory")
+    except Exception:
+        pass
+
+
+def to_shared(result: NodeResult, prefix: str) -> NodeResult:
+    """Move ``result.states`` into a fresh shared segment (worker side)."""
+    states = np.ascontiguousarray(result.states)
+    name = f"{prefix}t{result.task_id}"
+    seg = shared_memory.SharedMemory(
+        name=name, create=True, size=max(states.nbytes, 1)
+    )
+    if states.size:
+        dst = np.ndarray(states.shape, dtype=states.dtype, buffer=seg.buf)
+        dst[:] = states
+    ref = ShmArrayRef(name=name, shape=states.shape, dtype=states.dtype.str)
+    _unregister(seg._name)
+    seg.close()
+    return dataclasses.replace(result, states=ref)
+
+
+def _close_segment(seg) -> None:
+    try:  # pragma: no cover - GC-ordering dependent
+        seg.close()
+    except BufferError:
+        pass
+
+
+def from_shared(result: NodeResult) -> NodeResult:
+    """Rehydrate a shared-memory result into a zero-copy view (parent).
+
+    No-op for results whose states travelled as plain arrays.  The
+    segment name is unlinked immediately — the mapping stays valid until
+    the returned array is garbage collected.
+    """
+    ref = result.states
+    if not isinstance(ref, ShmArrayRef):
+        return result
+    seg = shared_memory.SharedMemory(name=ref.name)
+    arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - swept concurrently
+        pass
+    weakref.finalize(arr, _close_segment, seg)
+    return dataclasses.replace(result, states=arr)
+
+
+def cleanup_segments(prefix: str) -> int:
+    """Unlink every segment carrying ``prefix`` (worker-death sweep).
+
+    Returns the number of segments reclaimed.  Best effort: on
+    platforms without a ``/dev/shm`` view of the namespace this is a
+    no-op (segments still die with the machine, and the normal handover
+    path never leaks).
+    """
+    removed = 0
+    base = Path("/dev/shm")
+    if not base.is_dir():
+        return removed
+    for entry in base.glob(f"{prefix}*"):
+        try:
+            seg = shared_memory.SharedMemory(name=entry.name)
+        except FileNotFoundError:
+            continue
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+        _close_segment(seg)
+        removed += 1
+    return removed

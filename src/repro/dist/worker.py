@@ -25,7 +25,39 @@ from repro.core.solver import MatexSolver
 from repro.core.transition import build_schedule
 from repro.dist.messages import NodeResult, SimulationTask
 
-__all__ = ["NodeWorker"]
+__all__ = ["NodeWorker", "run_task"]
+
+
+def run_task(solver: MatexSolver, task: SimulationTask) -> NodeResult:
+    """Reference per-node march of one task against a deviation solver.
+
+    The single definition of "simulate one
+    :class:`~repro.dist.messages.SimulationTask`": used by
+    :class:`NodeWorker` and by the block runner's degenerate-grid
+    fallback, so the two can never diverge.
+    """
+    overrides = task.group.overrides_dict() or None
+    schedule = build_schedule(
+        solver.system,
+        task.t_end,
+        local_inputs=task.group.input_columns,
+        global_points=task.global_points,
+        waveform_overrides=overrides,
+    )
+    res = solver.simulate(
+        task.t_end,
+        active_inputs=task.group.input_columns,
+        schedule=schedule,
+        waveform_overrides=overrides,
+    )
+    return NodeResult(
+        task_id=task.task_id,
+        group_id=task.group.group_id,
+        label=task.group.label,
+        times=res.times,
+        states=res.states,
+        stats=res.stats,
+    )
 
 
 class NodeWorker:
@@ -57,29 +89,9 @@ class NodeWorker:
         other point is served as a snapshot from the most recent basis
         (Alg. 2 line 11).
         """
-        overrides = task.group.overrides_dict() or None
-        schedule = build_schedule(
-            self.system,
-            task.t_end,
-            local_inputs=task.group.input_columns,
-            global_points=task.global_points,
-            waveform_overrides=overrides,
-        )
-        res = self.solver.simulate(
-            task.t_end,
-            active_inputs=task.group.input_columns,
-            schedule=schedule,
-            waveform_overrides=overrides,
-        )
-        res.stats.n_factor_cache_hits += self._pending_cache_hits
-        res.stats.n_factor_cache_misses += self._pending_cache_misses
+        result = run_task(self.solver, task)
+        result.stats.n_factor_cache_hits += self._pending_cache_hits
+        result.stats.n_factor_cache_misses += self._pending_cache_misses
         self._pending_cache_hits = 0
         self._pending_cache_misses = 0
-        return NodeResult(
-            task_id=task.task_id,
-            group_id=task.group.group_id,
-            label=task.group.label,
-            times=res.times,
-            states=res.states,
-            stats=res.stats,
-        )
+        return result

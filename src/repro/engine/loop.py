@@ -22,6 +22,13 @@ dense-array behaviour bit-for-bit).  The loop mutates the caller's
 paper's "pure transient computing" (Table 3), excluding input
 pre-evaluation and factorisations, which strategies perform before
 entering the loop.
+
+Strategies that mark their ``advance`` callback with
+``supports_out = True`` march **allocation-free**: the loop owns a pair
+of preallocated state buffers and hands one to every call as ``out=``;
+the callback fills it in place (ufunc ``out=`` arithmetic is
+bit-identical to the allocating form) and the loop double-buffers, so
+the hot loop creates no arrays per step.
 """
 
 from __future__ import annotations
@@ -121,15 +128,28 @@ class SteppingLoop:
         if keep is None or 0 in keep:
             self.sink.append(pts[0], x)
 
+        # Strategies advertising `supports_out` write each new state
+        # into a loop-owned scratch buffer; double-buffering (the old
+        # state array becomes the next scratch) keeps the hot loop free
+        # of per-step allocations.
+        use_out = bool(getattr(advance, "supports_out", False))
+        scratch = np.empty(self.dim) if use_out else None
+
         t_loop = time.perf_counter()
         for i in range(len(pts) - 1):
             t, t_next = pts[i], pts[i + 1]
             if t_next - t > 0.0:
                 self.stats.n_steps += 1
-                x_new = advance(i, t, t_next, x)
+                if use_out:
+                    x_new = advance(i, t, t_next, x, out=scratch)
+                else:
+                    x_new = advance(i, t, t_next, x)
                 if x_new is None:
                     break  # truncate where the strategy gave up
-                x = x_new
+                if x_new is scratch:
+                    scratch, x = x, x_new
+                else:
+                    x = x_new
             if keep is None or (i + 1) in keep:
                 self.sink.append(t_next, x)
         self.stats.transient_seconds += time.perf_counter() - t_loop

@@ -27,6 +27,38 @@ __all__ = ["ArnoldiResult", "ArnoldiBreakdown", "arnoldi"]
 #: Convergence test signature: (j, H[(j+1)×j], V[:, :j+1], beta) -> bool.
 ConvergenceTest = Callable[[int, np.ndarray, np.ndarray, float], bool]
 
+#: Initial column capacity of the basis workspace.  I-/R-MATEX bases
+#: stay around m ≈ 10, so allocating the full ``m_max`` (often 300)
+#: up front would zero ~2.5 MB per basis for nothing; instead the
+#: workspace starts small and doubles on demand.
+_INITIAL_CAPACITY = 32
+
+
+def _initial_capacity(m_cap: int) -> int:
+    """Starting workspace capacity for a basis capped at ``m_cap``."""
+    return min(_INITIAL_CAPACITY, m_cap)
+
+
+def _ensure_capacity(
+    V: np.ndarray, H: np.ndarray, cap: int, needed: int, m_cap: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Grow the ``(V, H)`` workspace geometrically to hold ``needed`` columns.
+
+    The capacity schedule (and therefore the arrays' leading dimension
+    at every iteration) is deterministic — shared between the scalar
+    Arnoldi below and the lockstep block Arnoldi, because BLAS level-2
+    kernels are only bit-reproducible for identical memory layouts.
+    """
+    while needed > cap:
+        cap = min(2 * cap, m_cap)
+    if V.shape[1] < cap + 1:
+        grown_v = np.empty((V.shape[0], cap + 1))
+        grown_v[:, : V.shape[1]] = V
+        grown_h = np.zeros((cap + 1, cap))
+        grown_h[: H.shape[0], : H.shape[1]] = H
+        return grown_v, grown_h, cap
+    return V, H, cap
+
 
 class ArnoldiBreakdown(RuntimeError):
     """Raised only for *unexpected* breakdowns (NaN/Inf in the recursion)."""
@@ -128,16 +160,17 @@ def arnoldi(
     m_cap = min(m_max, n)
 
     beta = float(np.linalg.norm(v))
-    V = np.zeros((n, m_cap + 1))
-    H = np.zeros((m_cap + 1, m_cap))
-
     if beta == 0.0:
         # Zero start vector: exp(hA)·0 = 0 exactly; report a trivially
         # converged empty subspace.
         return ArnoldiResult(
-            V=V[:, :1], H=H[:1, :0], m=0, beta=0.0,
+            V=np.zeros((n, 1)), H=np.zeros((1, 0)), m=0, beta=0.0,
             converged=True, happy_breakdown=True,
         )
+
+    cap = _initial_capacity(m_cap)
+    V = np.empty((n, cap + 1))
+    H = np.zeros((cap + 1, cap))
 
     V[:, 0] = v / beta
     m = 0
@@ -145,6 +178,7 @@ def arnoldi(
     happy = False
 
     for j in range(m_cap):
+        V, H, cap = _ensure_capacity(V, H, cap, j + 1, m_cap)
         w = np.asarray(apply(V[:, j]), dtype=float)
         if not np.all(np.isfinite(w)):
             raise ArnoldiBreakdown(
@@ -171,7 +205,10 @@ def arnoldi(
         m = j + 1
 
         if h_next <= breakdown_tol * max(w_scale, np.finfo(float).tiny):
-            # Invariant subspace: the projection is exact.
+            # Invariant subspace: the projection is exact.  The unused
+            # extra basis column is zeroed explicitly (the workspace is
+            # allocated with np.empty).
+            V[:, j + 1] = 0.0
             happy = True
             converged = True
             break

@@ -18,9 +18,11 @@ it on small RC/RLC circuits.
 from __future__ import annotations
 
 import numpy as np
+import scipy.linalg
 import scipy.sparse as sp
 
 from repro.circuit.mna import MNASystem
+from repro.circuit.waveforms import merge_transition_spots
 from repro.linalg.expm import expm
 
 __all__ = ["dense_a_matrix", "etd_exact_step", "exact_transient"]
@@ -105,10 +107,19 @@ def exact_transient(
     """
     c = np.asarray(system.C.todense(), dtype=float)
     A = dense_a_matrix(system.C, system.G)
+    # Factor C once for the whole schedule: every step needs two C⁻¹
+    # solves (b0 and s), and LAPACK's gesv is exactly getrf + getrs, so
+    # reusing the factors is bit-identical to per-step np.linalg.solve.
+    c_lu = scipy.linalg.lu_factor(c)
 
     schedule = list(system.global_transition_spots(t_end, active=active))
     if extra_times:
-        schedule = sorted(set(schedule) | {float(t) for t in extra_times if 0.0 <= t <= t_end})
+        # Tolerance-aware union (the GTS merge operator): a plain set
+        # union keeps transition spots that differ by one ulp as two
+        # points, which would desynchronise the output grid from runs
+        # built over other input subsets.
+        extra = sorted(float(t) for t in extra_times if 0.0 <= t <= t_end)
+        schedule = merge_transition_spots([schedule, extra])
     if schedule[0] > 0.0:
         schedule.insert(0, 0.0)
 
@@ -121,8 +132,8 @@ def exact_transient(
             continue
         bu = system.bu(t0, active=active)
         su = system.b_slope_fd(t0, t1, active=active)
-        b0 = np.linalg.solve(c, bu)
-        s = np.linalg.solve(c, su)
+        b0 = scipy.linalg.lu_solve(c_lu, bu)
+        s = scipy.linalg.lu_solve(c_lu, su)
         x = etd_exact_step(A, x, b0, s, h)
         times.append(t1)
         states.append(x.copy())

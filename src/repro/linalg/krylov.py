@@ -121,14 +121,16 @@ class KrylovBasis:
     err_row: np.ndarray | None = None
     _eig: tuple | None = None
 
-    def _expm_e1(self, h: float) -> np.ndarray:
-        """``exp(h·Hm) e_1`` with a cached eigendecomposition.
+    #: Above this basis dimension the rank-1 accumulation kernel would
+    #: cost more Python round-trips than it saves; fall back to one BLAS
+    #: gemv per column (only MEXP on stiff circuits gets here).
+    _LOOP_KERNEL_MAX_M = 32
 
-        A basis is evaluated at many snapshot steps (Alg. 2 line 11), so
-        we diagonalise ``Hm`` once — O(m³) — and serve each evaluation in
-        O(m²) instead of a fresh Padé ``expm``.  Falls back to Padé when
-        the eigenvector matrix is ill-conditioned (defective ``Hm``).
-        """
+    def _eig_payload(self):
+        """Cached eigendecomposition of ``Hm`` (diagonalise once, O(m³)),
+        so each evaluation costs O(m²) instead of a fresh Padé ``expm``.
+        ``usable`` is False when the eigenvector matrix is ill-conditioned
+        (defective ``Hm``) and evaluations must fall back to Padé."""
         if self._eig is None:
             usable = False
             payload = None
@@ -141,18 +143,87 @@ class KrylovBasis:
             except np.linalg.LinAlgError:
                 pass
             object.__setattr__(self, "_eig", (usable, payload))
-        usable, payload = self._eig
+        return self._eig
+
+    def _expm_e1_many(self, hs: np.ndarray) -> np.ndarray:
+        """``exp(h·Hm) e_1`` for a whole vector of steps, shape ``(m, K)``.
+
+        The accumulation is an explicit rank-1 loop over the basis
+        columns so each output column is **bit-for-bit identical**
+        whether evaluated alone (``K = 1``, the per-node marching path)
+        or as part of a span batch (the block runner): elementwise
+        broadcasting never changes the per-element operation order,
+        whereas BLAS gemm and gemv kernels disagree in the last ulp.
+        """
+        usable, payload = self._eig_payload()
+        m = self.m
         if not usable:
-            return expm_e1(h * self.Hm)
+            cols = np.empty((m, len(hs)))
+            for k, h in enumerate(hs):
+                cols[:, k] = expm_e1(float(h) * self.Hm)
+            return cols
         d, s, s_inv_e1 = payload
         with np.errstate(over="ignore", invalid="ignore"):
-            return (s @ (np.exp(h * d) * s_inv_e1)).real
+            E = np.exp(np.multiply.outer(d, hs)) * s_inv_e1[:, None]
+            if m <= self._LOOP_KERNEL_MAX_M:
+                acc = s[:, 0:1] * E[0:1, :]
+                for j in range(1, m):
+                    acc += s[:, j:j + 1] * E[j:j + 1, :]
+            else:
+                acc = np.empty((m, len(hs)), dtype=complex)
+                for k in range(E.shape[1]):
+                    acc[:, k] = s @ np.ascontiguousarray(E[:, k])
+            return acc.real
+
+    def evaluate_many(
+        self, hs, with_errors: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate the basis at many steps at once.
+
+        Returns ``(Y, errs)`` with ``Y`` of shape ``(K, n)`` — row ``k``
+        is ``β V_m exp(hs[k]·Hm) e_1`` (row-major, so a marching span
+        commits straight into its states block) — and ``errs`` the
+        posterior error estimate per step (zeros when the basis carries
+        no error row, or when ``with_errors`` is false).  This is the
+        batched Hessenberg-exponential kernel behind snapshot reuse:
+        the scalar :meth:`evaluate` / :meth:`evaluate_with_error`
+        delegate here with ``K = 1``, so batched and per-step
+        evaluations are bit-for-bit interchangeable.
+        """
+        hs = np.asarray(hs, dtype=float)
+        K = hs.shape[0]
+        n = self.Vm.shape[0]
+        if self.m == 0:
+            return np.zeros((K, n)), np.zeros(K)
+        cols = self._expm_e1_many(hs)
+        if self.m <= self._LOOP_KERNEL_MAX_M:
+            acc = cols[0][:, None] * self.Vm[:, 0][None, :]
+            if self.m > 1:
+                tmp = np.empty_like(acc)
+                for j in range(1, self.m):
+                    np.multiply(
+                        cols[j][:, None], self.Vm[:, j][None, :], out=tmp
+                    )
+                    acc += tmp
+            Y = np.multiply(acc, self.beta, out=acc)
+        else:
+            Y = np.empty((K, n))
+            for k in range(K):
+                Y[k] = self.beta * (
+                    self.Vm @ np.ascontiguousarray(cols[:, k])
+                )
+        if not with_errors or self.err_row is None or self.h_next == 0.0:
+            return Y, np.zeros(K)
+        dots = self.err_row[0] * cols[0, :]
+        for j in range(1, self.m):
+            dots = dots + self.err_row[j] * cols[j, :]
+        errs = self.beta * np.abs(self.h_next * dots)
+        return Y, errs
 
     def evaluate(self, h: float) -> np.ndarray:
         """Return ``β V_m exp(h Hm) e_1`` — the reuse step of Alg. 2."""
-        if self.m == 0:
-            return np.zeros(self.Vm.shape[0])
-        return self.beta * (self.Vm @ self._expm_e1(h))
+        Y, _ = self.evaluate_many([h], with_errors=False)
+        return Y[0]
 
     def error_at(self, h: float) -> float:
         """Posterior error estimate re-evaluated at step ``h``.
@@ -163,20 +234,14 @@ class KrylovBasis:
         """
         if self.m == 0 or self.err_row is None or self.h_next == 0.0:
             return 0.0
-        col = self._expm_e1(h)
-        return self.beta * abs(self.h_next * float(self.err_row @ col))
+        _, errs = self.evaluate_many([h])
+        return float(errs[0])
 
     def evaluate_with_error(self, h: float) -> tuple[np.ndarray, float]:
         """Snapshot fast path: value and posterior error from one
         small-matrix exponential evaluation."""
-        if self.m == 0:
-            return np.zeros(self.Vm.shape[0]), 0.0
-        col = self._expm_e1(h)
-        y = self.beta * (self.Vm @ col)
-        if self.err_row is None or self.h_next == 0.0:
-            return y, 0.0
-        err = self.beta * abs(self.h_next * float(self.err_row @ col))
-        return y, err
+        Y, errs = self.evaluate_many([h])
+        return Y[0], float(errs[0])
 
 
 class HessenbergFactors:
@@ -307,6 +372,20 @@ class KrylovExpmOperator:
     def apply(self, v: np.ndarray) -> np.ndarray:
         """One Arnoldi operator application: ``X1⁻¹ (X2 v)``."""
         return self._lu.solve(self._x2 @ v)
+
+    def apply_block(self, V: np.ndarray) -> np.ndarray:
+        """Batched operator application over a dense column block.
+
+        One sparse mat-mat product plus one multi-RHS substitution; the
+        accounting charges one forward/backward pair per column, and
+        each output column is bit-for-bit identical to a scalar
+        :meth:`apply` of that column (SuperLU substitutes and CSC
+        products scatter column-by-column either way).  This is the
+        primitive the lockstep block-Arnoldi builds on.
+        """
+        if V.ndim == 1:
+            return self.apply(V)
+        return self._lu.solve_many(self._x2 @ V)
 
     def error_estimate(
         self,

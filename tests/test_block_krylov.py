@@ -1,0 +1,221 @@
+"""Bit-for-bit parity of the lockstep block-Arnoldi and fast kernels.
+
+The block-batched distributed fast path is only allowed to exist because
+every number it produces is identical to the scalar reference path; these
+tests pin that contract at the linalg layer:
+
+* ``fast_expm`` == ``expm`` to the last bit (including the
+  scaling-and-squaring branch),
+* ``FastHessenberg`` == ``HessenbergFactors`` (inverse, transposed row
+  solve, singularity handling),
+* ``FastEstimator`` == the per-method posterior error estimates,
+* ``build_bases_block`` == one ``op.build_basis`` per column.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg.block_krylov import (
+    FastEstimator,
+    FastHessenberg,
+    build_bases_block,
+    fast_expm,
+)
+from repro.linalg.expm import expm
+from repro.linalg.krylov import (
+    HessenbergFactors,
+    InvertedKrylov,
+    RationalKrylov,
+    StandardKrylov,
+    make_krylov_operator,
+)
+
+METHODS = ["standard", "inverted", "rational"]
+
+
+def small_system(n=24, seed=0):
+    """A well-conditioned dense-ish RC-like pencil."""
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((n, n)) * 0.3
+    G = sp.csc_matrix(g @ g.T + n * np.eye(n))
+    C = sp.csc_matrix(np.diag(rng.uniform(0.5, 2.0, n)) * 1e-12)
+    return C, G
+
+
+def make_op(method, C, G):
+    return make_krylov_operator(method, C, G, gamma=1e-10)
+
+
+class TestFastExpm:
+    @pytest.mark.parametrize("scale", [0.1, 1.0, 30.0, 1e3])
+    def test_bitwise_vs_reference(self, scale):
+        rng = np.random.default_rng(7)
+        for m in [1, 2, 5, 13]:
+            a = rng.standard_normal((m, m)) * scale
+            np.testing.assert_array_equal(fast_expm(a.copy()), expm(a))
+
+    def test_upper_hessenberg_shapes(self):
+        rng = np.random.default_rng(8)
+        a = np.triu(rng.standard_normal((9, 9)), k=-1)
+        np.testing.assert_array_equal(fast_expm(a.copy()), expm(a))
+
+    def test_empty(self):
+        assert fast_expm(np.zeros((0, 0))).shape == (0, 0)
+
+    def test_nonfinite_raises(self):
+        with pytest.raises(ValueError):
+            fast_expm(np.array([[np.inf, 0.0], [0.0, 1.0]]))
+
+
+class TestFastHessenberg:
+    def test_inverse_and_row_bitwise(self):
+        rng = np.random.default_rng(9)
+        for m in [1, 3, 8, 15]:
+            h = np.triu(rng.standard_normal((m, m)), k=-1) + 2 * np.eye(m)
+            ref = HessenbergFactors(h)
+            fast = FastHessenberg(h)
+            assert fast.singular == ref.singular
+            np.testing.assert_array_equal(fast.inverse(), ref.inverse())
+            rhs = np.zeros(m)
+            rhs[m - 1] = 1.0
+            np.testing.assert_array_equal(
+                fast.solve_transposed(rhs.copy()), ref.solve_transposed(rhs)
+            )
+
+    def test_singular_block(self):
+        h = np.array([[1.0, 1.0], [0.0, 0.0]])
+        ref = HessenbergFactors(h)
+        fast = FastHessenberg(h)
+        assert ref.singular and fast.singular
+        np.testing.assert_array_equal(fast.inverse(), ref.inverse())
+        for impl in (ref, fast):
+            with pytest.raises(np.linalg.LinAlgError):
+                impl.solve_transposed(np.array([0.0, 1.0]))
+
+
+class TestFastEstimator:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_estimates_bitwise(self, method):
+        C, G = small_system()
+        op = make_op(method, C, G)
+        rng = np.random.default_rng(11)
+        for m in [2, 4, 9]:
+            H = np.zeros((m + 1, m))
+            H[: m + 1, :] = np.triu(rng.standard_normal((m + 1, m)), k=-1)
+            H[m, m - 1] = abs(H[m, m - 1]) + 0.1
+            beta = 2.7
+            for h in [1e-12, 1e-10, 1e-9]:
+                ref = op.error_estimate(h, H, beta)
+                fast = FastEstimator(op).error_estimate(h, H, beta)
+                assert ref == fast or (np.isinf(ref) and np.isinf(fast))
+
+    @pytest.mark.parametrize("method", ["inverted", "rational"])
+    def test_effective_hm_and_row_bitwise(self, method):
+        C, G = small_system()
+        op = make_op(method, C, G)
+        est = FastEstimator(op)
+        rng = np.random.default_rng(12)
+        for m in [1, 5, 10]:
+            h_square = np.triu(rng.standard_normal((m, m)), k=-1) + np.eye(m)
+            np.testing.assert_array_equal(
+                est.effective_hm(h_square), op.effective_hm(h_square)
+            )
+            np.testing.assert_array_equal(
+                est.error_row(h_square), op._error_row(h_square)
+            )
+
+
+def assert_bases_equal(ref, blk):
+    assert ref.m == blk.m
+    assert ref.beta == blk.beta
+    assert ref.method == blk.method
+    assert ref.h_built == blk.h_built
+    assert ref.h_next == blk.h_next
+    assert ref.error_estimate == blk.error_estimate or (
+        np.isinf(ref.error_estimate) and np.isinf(blk.error_estimate)
+    )
+    np.testing.assert_array_equal(ref.Vm, blk.Vm)
+    np.testing.assert_array_equal(ref.Hm, blk.Hm)
+    if ref.err_row is None:
+        assert blk.err_row is None
+    else:
+        np.testing.assert_array_equal(ref.err_row, blk.err_row)
+
+
+class TestBlockBases:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_block_matches_scalar_builds(self, method):
+        C, G = small_system(n=30, seed=3)
+        rng = np.random.default_rng(13)
+        n = 30
+        vs = [rng.standard_normal(n) for _ in range(6)]
+        vs.append(np.zeros(n))  # trivially-converged empty column
+        hs = [1e-10 * (k + 1) for k in range(7)]
+        tols = [1e-8] * 7
+
+        op_ref = make_op(method, C, G)
+        refs = [
+            op_ref.build_basis(v, h, tol, m_max=20, min_dim=2)
+            for v, h, tol in zip(vs, hs, tols)
+        ]
+        op_blk = make_op(method, C, G)
+        blks = build_bases_block(op_blk, vs, hs, tols, m_max=20, min_dim=2)
+
+        assert len(blks) == len(refs)
+        for ref, blk in zip(refs, blks):
+            assert_bases_equal(ref, blk)
+        # Solve accounting: one pair per column per active iteration.
+        assert op_blk.n_solves == op_ref.n_solves == sum(b.m for b in blks)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_width_one_matches_scalar(self, method):
+        C, G = small_system(n=18, seed=5)
+        v = np.random.default_rng(6).standard_normal(18)
+        op_ref = make_op(method, C, G)
+        ref = op_ref.build_basis(v, 2e-10, 1e-9, m_max=15, min_dim=2)
+        op_blk = make_op(method, C, G)
+        (blk,) = build_bases_block(
+            op_blk, [v], [2e-10], [1e-9], m_max=15, min_dim=2
+        )
+        assert_bases_equal(ref, blk)
+
+    def test_evaluations_match(self):
+        """End-to-end: bases evaluated at many steps agree bitwise."""
+        C, G = small_system(n=26, seed=8)
+        rng = np.random.default_rng(14)
+        vs = [rng.standard_normal(26) for _ in range(4)]
+        op_ref = RationalKrylov(C, G, gamma=1e-10)
+        op_blk = RationalKrylov(C, G, gamma=1e-10)
+        refs = [op_ref.build_basis(v, 1e-10, 1e-9) for v in vs]
+        blks = build_bases_block(op_blk, vs, [1e-10] * 4, [1e-9] * 4)
+        hs = np.linspace(1e-11, 5e-10, 17)
+        for ref, blk in zip(refs, blks):
+            Yr, er = ref.evaluate_many(hs)
+            Yb, eb = blk.evaluate_many(hs)
+            np.testing.assert_array_equal(Yr, Yb)
+            np.testing.assert_array_equal(er, eb)
+            for k, h in enumerate(hs):
+                y, err = ref.evaluate_with_error(float(h))
+                np.testing.assert_array_equal(y, Yb[k])
+                assert err == eb[k]
+
+    def test_input_validation(self):
+        C, G = small_system(n=10)
+        op = InvertedKrylov(C, G)
+        with pytest.raises(ValueError, match="equal lengths"):
+            build_bases_block(op, [np.ones(10)], [1e-10], [])
+        assert build_bases_block(op, [], [], []) == []
+        with pytest.raises(ValueError, match="share one dimension"):
+            build_bases_block(
+                op, [np.ones(10), np.ones(9)], [1e-10] * 2, [1e-9] * 2
+            )
+
+    def test_standard_operator_supported(self):
+        C, G = small_system(n=12, seed=2)
+        op = StandardKrylov(C, G)
+        est = FastEstimator(op)
+        assert est.factors(np.eye(3)) is None
+        np.testing.assert_array_equal(
+            est.effective_hm(np.eye(3)), -np.eye(3)
+        )

@@ -1,0 +1,220 @@
+"""Bit-for-bit parity of the block-batched fast path, plus transport.
+
+The contract under test: every trajectory, time grid and operation count
+a :class:`~repro.dist.block_runner.BlockNodeRunner` produces is
+bit-for-bit identical to the per-node :class:`~repro.dist.worker.NodeWorker`
+reference path — on the serial executor, on the multiprocess executor,
+through the scheduler's ``batch`` policy, across decompositions
+(including split-bump waveform overrides) and Krylov flavours.  On top,
+the shared-memory result transport round-trips arrays exactly and
+reclaims its segments, including after worker death.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverOptions
+from repro.dist import (
+    BlockNodeRunner,
+    MatexScheduler,
+    MultiprocessExecutor,
+    NodeWorker,
+    SerialExecutor,
+    SimulationTask,
+)
+from repro.dist.shm import (
+    cleanup_segments,
+    from_shared,
+    new_segment_prefix,
+    shm_available,
+    to_shared,
+)
+
+OPTS = SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-8)
+
+
+def tasks_for(system, t_end=1e-9, decomposition="bump"):
+    sched = MatexScheduler(system, OPTS, decomposition=decomposition)
+    gts = tuple(system.global_transition_spots(t_end))
+    return [
+        SimulationTask(task_id=g.group_id, group=g, t_end=t_end,
+                       global_points=gts)
+        for g in sched.groups(t_end=t_end)
+    ]
+
+
+def assert_results_identical(ref, blk):
+    assert len(ref) == len(blk)
+    for r, b in zip(ref, blk):
+        assert r.task_id == b.task_id
+        assert r.group_id == b.group_id
+        assert r.label == b.label
+        assert r.times.tobytes() == b.times.tobytes()
+        assert r.states.tobytes() == b.states.tobytes()  # strict bitwise
+        for f in ("n_steps", "n_krylov_bases", "n_reuses", "krylov_dims",
+                  "n_solves_krylov", "n_solves_etd", "n_solves_dc"):
+            assert getattr(r.stats, f) == getattr(b.stats, f), f
+
+
+class TestRunnerParity:
+    def test_mesh_bitwise_parity(self, mesh_system):
+        tasks = tasks_for(mesh_system)
+        ref = [NodeWorker(mesh_system, OPTS).run(t) for t in tasks]
+        blk = BlockNodeRunner(mesh_system, OPTS).run(tasks)
+        assert_results_identical(ref, blk)
+
+    def test_singular_c_pdn_parity(self, small_pdn_system):
+        tasks = tasks_for(small_pdn_system)
+        ref = [NodeWorker(small_pdn_system, OPTS).run(t) for t in tasks]
+        blk = BlockNodeRunner(small_pdn_system, OPTS).run(tasks)
+        assert_results_identical(ref, blk)
+
+    @pytest.mark.parametrize("method", ["rational", "inverted"])
+    def test_methods_parity(self, mesh_system, method):
+        opts = SolverOptions(method=method, gamma=1e-10, eps_rel=1e-8)
+        tasks = tasks_for(mesh_system)
+        worker = NodeWorker(mesh_system, opts)
+        ref = [worker.run(t) for t in tasks]
+        blk = BlockNodeRunner(mesh_system, opts).run(tasks)
+        assert_results_identical(ref, blk)
+
+    def test_bump_split_overrides_parity(self, mesh_system):
+        tasks = tasks_for(mesh_system, decomposition="bump-split")
+        assert any(t.group.waveform_overrides for t in tasks)
+        worker = NodeWorker(mesh_system, OPTS)
+        ref = [worker.run(t) for t in tasks]
+        blk = BlockNodeRunner(mesh_system, OPTS).run(tasks)
+        assert_results_identical(ref, blk)
+
+    def test_empty_and_order(self, mesh_system):
+        runner = BlockNodeRunner(mesh_system, OPTS)
+        assert runner.run([]) == []
+        tasks = tasks_for(mesh_system)
+        shuffled = list(reversed(tasks))
+        out = runner.run(shuffled)
+        assert [r.task_id for r in out] == [t.task_id for t in shuffled]
+
+    def test_construction_cache_traffic_on_first_task(self, mesh_system):
+        from repro.linalg.lu import FACTORIZATION_CACHE
+
+        FACTORIZATION_CACHE.clear()
+        runner = BlockNodeRunner(mesh_system, OPTS)
+        tasks = tasks_for(mesh_system)
+        first = runner.run(tasks)
+        again = runner.run(tasks)
+        total_first = sum(
+            r.stats.n_factor_cache_hits + r.stats.n_factor_cache_misses
+            for r in first
+        )
+        assert total_first >= 1  # construction traffic reported once
+        assert all(
+            r.stats.n_factor_cache_hits + r.stats.n_factor_cache_misses == 0
+            for r in again
+        )
+
+
+class TestExecutorParity:
+    def test_serial_batched_matches_per_node(self, mesh_system):
+        tasks = tasks_for(mesh_system)
+        ref = SerialExecutor(mesh_system, OPTS).run(tasks)
+        for width in ("auto", 2, 1):
+            blk = SerialExecutor(
+                mesh_system, OPTS, batch_width=width
+            ).run(tasks)
+            assert_results_identical(ref, blk)
+
+    def test_scheduler_batch_policy_bitwise(self, mesh_system):
+        ref = MatexScheduler(mesh_system, OPTS).run(1e-9)
+        blk = MatexScheduler(mesh_system, OPTS, batch="auto").run(1e-9)
+        assert (ref.result.states.tobytes()
+                == blk.result.states.tobytes())
+        assert ref.result.times.tobytes() == blk.result.times.tobytes()
+        assert (ref.total_substitution_pairs
+                == blk.total_substitution_pairs)
+
+    def test_scheduler_batch_validation(self, mesh_system):
+        with pytest.raises(ValueError, match="batch"):
+            MatexScheduler(mesh_system, OPTS, batch="sideways")
+        with pytest.raises(ValueError, match="batch"):
+            MatexScheduler(mesh_system, OPTS, batch=0)
+
+    def test_multiprocess_batched_matches_serial(self, mesh_system):
+        tasks = tasks_for(mesh_system)
+        ref = SerialExecutor(mesh_system, OPTS).run(tasks)
+        mp = MultiprocessExecutor(
+            mesh_system, OPTS, max_workers=2, batch_width="auto"
+        ).run(tasks)
+        assert_results_identical(ref, mp)
+
+    def test_multiprocess_pickle_transport_matches(self, mesh_system):
+        tasks = tasks_for(mesh_system)
+        ref = SerialExecutor(mesh_system, OPTS).run(tasks)
+        mp = MultiprocessExecutor(
+            mesh_system, OPTS, max_workers=2, transport="pickle"
+        ).run(tasks)
+        assert_results_identical(ref, mp)
+
+    def test_bad_executor_args(self, mesh_system):
+        with pytest.raises(ValueError, match="transport"):
+            MultiprocessExecutor(mesh_system, OPTS, transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="batch_width"):
+            SerialExecutor(mesh_system, OPTS, batch_width=0).run(
+                tasks_for(mesh_system)
+            )
+
+
+@pytest.mark.skipif(not shm_available(), reason="no shared-memory support")
+class TestShmTransport:
+    def _node_result(self, mesh_system):
+        tasks = tasks_for(mesh_system)
+        return NodeWorker(mesh_system, OPTS).run(tasks[0])
+
+    def test_round_trip_bitwise(self, mesh_system):
+        res = self._node_result(mesh_system)
+        prefix = new_segment_prefix()
+        shared = to_shared(res, prefix)
+        assert not isinstance(shared.states, np.ndarray)
+        back = from_shared(shared)
+        assert back.states.tobytes() == res.states.tobytes()
+        assert back.times.tobytes() == res.times.tobytes()
+        assert back.stats is res.stats
+        # segment name already unlinked: nothing left to sweep
+        assert cleanup_segments(prefix) == 0
+
+    def test_cleanup_sweeps_orphans(self, mesh_system):
+        """Worker-death path: segments without a handover get reclaimed."""
+        res = self._node_result(mesh_system)
+        prefix = new_segment_prefix()
+        to_shared(res, prefix)  # orphan: nobody attaches
+        import dataclasses
+        to_shared(dataclasses.replace(res, task_id=res.task_id + 1), prefix)
+        assert cleanup_segments(prefix) == 2
+        assert cleanup_segments(prefix) == 0
+
+    def test_worker_death_leaves_no_segments(self, mesh_system):
+        """A SIGKILLed worker must not leak its run's segments."""
+        from pathlib import Path
+
+        from tests.test_executor_robustness import killer_task
+        from concurrent.futures.process import BrokenProcessPool
+
+        before = {p.name for p in Path("/dev/shm").glob("repro*")}
+        ex = MultiprocessExecutor(
+            mesh_system, OPTS, max_workers=2, transport="shm"
+        )
+        with pytest.raises(BrokenProcessPool):
+            ex.run([killer_task(mesh_system)])
+        after = {p.name for p in Path("/dev/shm").glob("repro*")}
+        assert after <= before  # no new segments survive the crash
+
+    def test_scheduler_end_to_end_with_shm(self, mesh_system):
+        ref = MatexScheduler(mesh_system, OPTS).run(1e-9)
+        mp = MatexScheduler(mesh_system, OPTS).run(
+            1e-9,
+            executor=MultiprocessExecutor(
+                mesh_system, OPTS, max_workers=2,
+                batch_width="auto", transport="shm",
+            ),
+        )
+        assert (ref.result.states.tobytes()
+                == mp.result.states.tobytes())

@@ -35,10 +35,18 @@ def test_expm_inverse_identity(a):
 @given(a=square)
 @settings(max_examples=40)
 def test_expm_determinant_is_exp_trace(a):
-    """Jacobi's formula: log det exp(A) = tr(A) (stable in log space)."""
+    """Jacobi's formula: log det exp(A) = tr(A) (stable in log space).
+
+    The achievable accuracy shrinks with ‖A‖: scaling-and-squaring
+    loses ~ε·‖A‖ per squaring in the small eigenvalues, which logdet
+    sums over all n of them (SciPy's expm drifts identically — e.g.
+    ~3e-4 for the all-3.0 10×10 matrix, whose trace is 30).
+    """
+    n = a.shape[0]
     sign, logdet = np.linalg.slogdet(expm(a))
     assert sign > 0
-    assert np.isclose(logdet, np.trace(a), rtol=1e-6, atol=1e-6)
+    tol = 1e-6 + 5e-6 * n * max(1.0, np.linalg.norm(a, 1))
+    assert np.isclose(logdet, np.trace(a), rtol=1e-6, atol=tol)
 
 
 @given(a=square, s=st.floats(0.1, 2.0))

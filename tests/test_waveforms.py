@@ -10,6 +10,7 @@ from repro.circuit.waveforms import (
     PWL,
     BumpShape,
     Pulse,
+    Waveform,
     merge_transition_spots,
 )
 
@@ -166,3 +167,47 @@ class TestMergeTransitionSpots:
 
     def test_empty_input(self):
         assert merge_transition_spots([]) == [0.0]
+
+
+class TestValuesArrayParity:
+    """Every concrete waveform's vectorised path vs the scalar value()."""
+
+    WAVEFORMS = [
+        DC(1.7),
+        PWL([(0.0, 0.0), (1e-10, 2e-3), (3e-10, 2e-3), (4e-10, 0.0)]),
+        Pulse(0.0, 1e-3, 1e-10, 2e-11, 1e-10, 3e-11),
+        Pulse(1e-4, 2e-3, 5e-11, 1e-11, 8e-11, 2e-11, t_period=3e-10),
+    ]
+
+    def test_exact_parity_on_dense_grid(self):
+        ts = np.linspace(-1e-10, 1.2e-9, 457)
+        for w in self.WAVEFORMS:
+            vec = w.values_array(ts)
+            scalar = np.array([w.value(float(t)) for t in ts])
+            np.testing.assert_allclose(vec, scalar, rtol=0.0, atol=1e-15)
+            assert vec.shape == ts.shape
+
+    def test_parity_at_transition_spots(self):
+        """Breakpoints are the risky spots (ulp snapping, fmod folding)."""
+        for w in self.WAVEFORMS:
+            spots = np.array(w.transition_spots(1e-9))
+            vec = w.values_array(spots)
+            scalar = np.array([w.value(float(t)) for t in spots])
+            np.testing.assert_allclose(vec, scalar, rtol=0.0, atol=1e-15)
+
+    def test_repeated_calls_share_cached_tables(self):
+        p = Pulse(0.0, 1e-3, 1e-10, 2e-11, 1e-10, 3e-11)
+        a = p.values_array(np.array([0.0, 1e-10]))
+        b = p.values_array(np.array([0.0, 1e-10]))
+        np.testing.assert_array_equal(a, b)
+        assert p._interp_table is p._interp_table  # cached, not rebuilt
+
+    def test_base_class_fallback_preserves_shape(self):
+        class Ramp(Waveform):
+            def value(self, t):
+                return 2.0 * t
+
+        ts = np.array([[0.0, 1.0], [2.0, 3.0]])
+        out = Ramp().values_array(ts)
+        assert out.shape == ts.shape
+        np.testing.assert_allclose(out, 2.0 * ts)
