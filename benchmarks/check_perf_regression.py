@@ -25,7 +25,7 @@ import os
 import sys
 from pathlib import Path
 
-DEFAULT_MODULES = ("bench_kernels", "bench_table3_distributed")
+DEFAULT_MODULES = ("bench_kernels", "bench_table3_distributed", "bench_ingest")
 
 
 def load_results(path: Path) -> dict[str, dict]:
@@ -100,8 +100,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("fresh_dir", type=Path,
                         help="directory with freshly generated JSONs")
     parser.add_argument("--modules", nargs="*", default=list(DEFAULT_MODULES),
-                        help="module stems to gate (default: kernel + "
-                             "Table-3 benches)")
+                        help="module stems to gate (default: kernel, "
+                             "Table-3 and ingest benches)")
     parser.add_argument("--factor", type=float,
                         default=float(os.environ.get("PERF_GATE_FACTOR",
                                                      "1.5")),

@@ -130,7 +130,20 @@ class _LteController:
             self.gts_idx += 1
         limit = (self.gts[self.gts_idx] - t
                  if self.gts_idx < len(self.gts) else self.t_end - t)
-        return min(self.h, limit, self.t_end - t)
+        step = min(self.h, limit, self.t_end - t)
+        # A step below ~100 ulp of the current time cannot advance the
+        # march (t + h rounds back to t) — the loop would spin forever.
+        # The final approach to t_end legitimately shrinks to ulp scale
+        # (step == remaining), so only a *policy*-shrunk step trips this.
+        remaining = self.t_end - t
+        if step < 1e2 * np.spacing(t) and step < remaining:
+            raise RuntimeError(
+                f"adaptive TR step-size underflow: dt={step:.3e} is below "
+                f"100 ulp of t={t:.3e} and can no longer advance the "
+                f"march; tol={self.tol:g} is too tight (or "
+                f"h_min={self.h_min:g} too small) for this circuit"
+            )
+        return step
 
     def attempt(
         self, t: float, h_step: float, x: np.ndarray

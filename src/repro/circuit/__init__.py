@@ -8,9 +8,22 @@ from repro.circuit.elements import (
     Resistor,
     VoltageSource,
 )
+from repro.circuit.ingest import (
+    IngestError,
+    IngestResult,
+    IngestStats,
+    ingest_file,
+    ingest_text,
+)
 from repro.circuit.mna import MNASystem, assemble
-from repro.circuit.netlist import Netlist, NetlistError
-from repro.circuit.parser import ParseError, parse_file, parse_netlist, parse_value
+from repro.circuit.netlist import Netlist, NetlistError, StreamedNetlist
+from repro.circuit.parser import (
+    ParseError,
+    parse_file,
+    parse_netlist,
+    parse_value,
+    parse_waveform,
+)
 from repro.circuit.regularize import RegularizedSystem, regularize
 from repro.circuit.waveforms import (
     DC,
@@ -20,7 +33,7 @@ from repro.circuit.waveforms import (
     Waveform,
     merge_transition_spots,
 )
-from repro.circuit.writer import format_netlist, write_file
+from repro.circuit.writer import format_netlist, iter_cards, write_file
 
 __all__ = [
     "BumpShape",
@@ -29,10 +42,14 @@ __all__ = [
     "DC",
     "Element",
     "Inductor",
+    "IngestError",
+    "IngestResult",
+    "IngestStats",
     "MNASystem",
     "Netlist",
     "NetlistError",
     "PWL",
+    "StreamedNetlist",
     "ParseError",
     "Pulse",
     "RegularizedSystem",
@@ -42,9 +59,13 @@ __all__ = [
     "assemble",
     "regularize",
     "format_netlist",
+    "ingest_file",
+    "ingest_text",
+    "iter_cards",
     "merge_transition_spots",
     "parse_file",
     "parse_netlist",
     "parse_value",
+    "parse_waveform",
     "write_file",
 ]

@@ -32,7 +32,7 @@ from repro.circuit.elements import (
 )
 from repro.circuit.waveforms import DC, Waveform
 
-__all__ = ["Netlist", "NetlistError"]
+__all__ = ["Netlist", "NetlistError", "StreamedNetlist"]
 
 
 class NetlistError(ValueError):
@@ -282,3 +282,84 @@ class Netlist:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Netlist {self.summary()}>"
+
+
+class StreamedNetlist:
+    """Index-and-name view of a circuit ingested without element objects.
+
+    The streaming parser (:mod:`repro.circuit.ingest`) stamps matrices
+    directly from the file and never materialises :class:`Element`
+    instances, but the rest of the pipeline only ever needs the *node
+    bookkeeping* half of :class:`Netlist` — the index layout documented
+    at the top of this module, name lookups and the size summary.  This
+    class carries exactly that, sharing the same contract:
+
+    * ``node_index`` rows follow first-appearance order (pos before neg,
+      ground excluded) — identical to :meth:`Netlist._register_node`
+      replayed over the same card sequence;
+    * branch rows follow node rows: voltage sources first, inductors
+      after, each in card order.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        node_order: list[str],
+        node_index: dict[str, int],
+        counts: dict[str, int],
+    ):
+        self.title = title
+        self._node_order = tuple(node_order)
+        self._node_index = node_index
+        self._counts = dict(counts)
+
+    # -- Netlist read-only interface ------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_order)
+
+    @property
+    def unknowns(self) -> _Unknowns:
+        """Block sizes of the MNA unknown vector."""
+        return _Unknowns(
+            n_nodes=self.n_nodes,
+            n_vsrc=self._counts.get("v", 0),
+            n_ind=self._counts.get("l", 0),
+        )
+
+    @property
+    def dim(self) -> int:
+        """Total MNA system dimension."""
+        return self.unknowns.dim
+
+    def node_index(self, node: str) -> int:
+        """Matrix row of a node voltage; ``-1`` for ground."""
+        if _is_ground(node):
+            return -1
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise NetlistError(f"unknown node {node!r}") from None
+
+    def node_names(self) -> tuple[str, ...]:
+        """Non-ground node names in index order."""
+        return self._node_order
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def summary(self) -> str:
+        """One-line human-readable size summary (Netlist-compatible)."""
+        c = self._counts
+        u = self.unknowns
+        return (
+            f"{self.title}: {u.n_nodes} nodes, {c.get('r', 0)} R, "
+            f"{c.get('c', 0)} C, {c.get('l', 0)} L, "
+            f"{c.get('v', 0)} V, {c.get('i', 0)} I "
+            f"(dim {u.dim})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StreamedNetlist {self.summary()}>"

@@ -21,12 +21,20 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.circuit.netlist import Netlist, NetlistError
 from repro.circuit.waveforms import DC, PWL, Pulse, Waveform
 
-__all__ = ["ParseError", "parse_netlist", "parse_file", "parse_value"]
+__all__ = [
+    "ParseError",
+    "is_title_line",
+    "iter_logical_cards",
+    "parse_netlist",
+    "parse_file",
+    "parse_value",
+    "parse_waveform",
+]
 
 
 class ParseError(ValueError):
@@ -75,29 +83,53 @@ def parse_value(token: str) -> float:
     return base
 
 
-def _join_continuations(lines: Iterable[str]) -> list[tuple[int, str]]:
-    """Merge ``+`` continuation lines; returns (line_number, text) pairs."""
-    merged: list[tuple[int, str]] = []
+def iter_logical_cards(lines: Iterable[str]) -> Iterator[tuple[int, str]]:
+    """Stream ``(line_number, merged_card)`` pairs from netlist source.
+
+    Blank lines and ``*`` comments are dropped; ``+`` continuation lines
+    are folded into the preceding card.  At most one pending card is
+    held, so the stream costs O(1) memory regardless of deck size —
+    this single generator defines the card dialect for **both** the
+    in-memory parser and the streaming ingester
+    (:mod:`repro.circuit.ingest`); their bit-identical round-trip
+    guarantee depends on agreeing card-for-card.
+    """
+    pending: tuple[int, list[str]] | None = None
     for lineno, raw in enumerate(lines, start=1):
-        line = raw.rstrip("\n")
-        stripped = line.strip()
+        stripped = raw.strip()
         if not stripped or stripped.startswith("*"):
             continue
         if stripped.startswith("+"):
-            if not merged:
+            if pending is None:
                 raise ParseError(f"line {lineno}: continuation without a card")
-            prev_no, prev = merged[-1]
-            merged[-1] = (prev_no, prev + " " + stripped[1:].strip())
+            pending[1].append(stripped[1:].strip())
         else:
-            merged.append((lineno, stripped))
-    return merged
+            if pending is not None:
+                yield pending[0], " ".join(pending[1])
+            pending = (lineno, [stripped])
+    if pending is not None:
+        yield pending[0], " ".join(pending[1])
+
+
+def is_title_line(line: str) -> bool:
+    """SPICE convention: a first line that is no recognisable card.
+
+    Shared by both parsers for the same reason as
+    :func:`iter_logical_cards`.
+    """
+    head = line.split(None, 1)[0].lower()
+    return head[0] not in "rclvi." or len(line.split(None, 3)) < 3
 
 
 _FUNC_RE = re.compile(r"(pulse|pwl)\s*\(([^)]*)\)", re.IGNORECASE)
 
 
-def _parse_waveform(spec: str, lineno: int) -> Waveform:
-    """Parse the source-value portion of a V/I card."""
+def parse_waveform(spec: str, lineno: int = 0) -> Waveform:
+    """Parse the source-value portion of a V/I card.
+
+    Shared by the in-memory parser and the streaming ingester
+    (:mod:`repro.circuit.ingest`); ``lineno`` only decorates errors.
+    """
     spec = spec.strip()
     m = _FUNC_RE.search(spec)
     if m is None:
@@ -143,16 +175,12 @@ def parse_netlist(text: str, title: str = "netlist") -> Netlist:
     except ``.end``, which stops parsing.
     """
     netlist = Netlist(title=title)
-    lines = text.splitlines()
-    merged = _join_continuations(lines)
+    merged = list(iter_logical_cards(text.splitlines()))
 
     start = 0
-    if merged:
-        first = merged[0][1]
-        head = first.split()[0].lower()
-        if head[0] not in "rclvi." or len(first.split()) < 3:
-            netlist.title = first
-            start = 1
+    if merged and is_title_line(merged[0][1]):
+        netlist.title = merged[0][1]
+        start = 1
 
     for lineno, line in merged[start:]:
         head = line.split()[0]
@@ -173,9 +201,9 @@ def parse_netlist(text: str, title: str = "netlist") -> Netlist:
             elif kind == "l":
                 netlist.add_inductor(name, pos, neg, parse_value(rest.split()[0]))
             elif kind == "v":
-                netlist.add_voltage_source(name, pos, neg, _parse_waveform(rest, lineno))
+                netlist.add_voltage_source(name, pos, neg, parse_waveform(rest, lineno))
             elif kind == "i":
-                netlist.add_current_source(name, pos, neg, _parse_waveform(rest, lineno))
+                netlist.add_current_source(name, pos, neg, parse_waveform(rest, lineno))
             else:
                 raise ParseError(
                     f"line {lineno}: unsupported element type {head!r} "

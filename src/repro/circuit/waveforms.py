@@ -146,10 +146,29 @@ class PWL(Waveform):
                     f"got {t0!r} then {t1!r}"
                 )
         object.__setattr__(self, "points", pts)
+        # Breakpoint times cached once: value()/slope() bisect against
+        # them on every evaluation in the transient hot loop.
+        object.__setattr__(self, "_times", tuple(t for t, _ in pts))
 
-    @property
-    def _times(self) -> list[float]:
-        return [t for t, _ in self.points]
+    def _snap(self, t: float) -> float:
+        """Snap ``t`` onto an adjacent breakpoint when within an ulp.
+
+        Transition-spot lists and evaluation times are built through
+        different arithmetic, so a caller can land a relative ulp before
+        a breakpoint and read the *previous* segment's slope — the same
+        hazard :meth:`Pulse._snap` guards against.  ``value`` needs no
+        snapping (PWL is continuous), but ``slope`` is discontinuous at
+        breakpoints and must stay right-sided at its own transition
+        spots.
+        """
+        times = self._times
+        i = bisect.bisect_right(times, t)
+        for j in (i - 1, i):
+            if 0 <= j < len(times) and math.isclose(
+                t, times[j], rel_tol=_TIME_RTOL, abs_tol=0.0
+            ):
+                return times[j]
+        return t
 
     def value(self, t: float) -> float:
         pts = self.points
@@ -164,6 +183,7 @@ class PWL(Waveform):
 
     def slope(self, t: float) -> float:
         pts = self.points
+        t = self._snap(t)
         if t < pts[0][0] or t >= pts[-1][0]:
             return 0.0
         i = bisect.bisect_right(self._times, t) - 1
@@ -190,16 +210,22 @@ class PWL(Waveform):
         prev_slope = 0.0
         # Slope changes can only happen at breakpoints (and the value can
         # step only via a slope change here, since PWL is continuous).
+        # Breakpoints outside [0, t_end] contribute no spot, but their
+        # slope change must still be tracked: a waveform whose ramp
+        # starts before t=0 would otherwise compare the first in-window
+        # breakpoint against the pre-ramp slope and silently skip it.
         for i, (t, _) in enumerate(self.points):
-            if t < 0.0 or t > t_end:
-                continue
+            if t > t_end:
+                break
             if i + 1 < len(self.points):
                 t1, v1 = self.points[i + 1]
                 t0, v0 = self.points[i]
                 new_slope = (v1 - v0) / (t1 - t0)
             else:
                 new_slope = 0.0
-            if not math.isclose(new_slope, prev_slope, rel_tol=1e-12, abs_tol=0.0):
+            if t >= 0.0 and not math.isclose(
+                new_slope, prev_slope, rel_tol=1e-12, abs_tol=0.0
+            ):
                 spots.append(t)
             prev_slope = new_slope
         return _dedup_sorted(sorted(spots))
@@ -314,6 +340,12 @@ class Pulse(Waveform):
         tau = t - self.t_delay
         if self.t_period is not None and tau >= 0.0:
             tau = math.fmod(tau, self.t_period)
+            # A spot time built as t_delay + k*t_period can fold to an
+            # ulp *below* the period instead of 0; snap it so slope()
+            # is right-sided (the next bump's rise) at periodic spots.
+            if math.isclose(tau, self.t_period, rel_tol=_TIME_RTOL,
+                            abs_tol=0.0):
+                tau = 0.0
         return tau
 
     # -- Waveform interface ---------------------------------------------------

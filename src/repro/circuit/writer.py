@@ -1,18 +1,44 @@
 """Netlist writer: serialise a :class:`Netlist` back to SPICE text.
 
-Round-trips with :mod:`repro.circuit.parser`, which makes the synthetic
-PDN suite exportable in the same flat-SPICE dialect as the IBM power grid
-benchmarks — useful for cross-checking against external simulators.
+Round-trips with :mod:`repro.circuit.parser` and the streaming ingester
+in :mod:`repro.circuit.ingest`, which makes the synthetic PDN suite
+exportable in the same flat-SPICE dialect as the IBM power grid
+benchmarks — useful for cross-checking against external simulators and
+for synthesising benchmark-format decks on disk.
+
+Two card orders are supported:
+
+``"by-type"`` (default)
+    All R cards, then C, L, V, I — the classic grouped layout.
+``"insertion"``
+    Cards in element insertion order.  This is the order that makes the
+    write → ingest round-trip **bit-identical**: node matrix indices are
+    assigned by first appearance, so a deck replayed card-by-card in
+    insertion order reconstructs the exact index assignment (and hence
+    the exact ``G``/``C``/``B`` triplet sequence) of the in-memory
+    netlist.
+
+:func:`iter_cards` streams one card line at a time so multi-hundred-MB
+decks can be written without materialising the text in memory.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Iterator
 
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
 from repro.circuit.netlist import Netlist
 from repro.circuit.waveforms import DC, PWL, Pulse, Waveform
 
-__all__ = ["format_netlist", "write_file"]
+__all__ = ["format_netlist", "iter_cards", "write_file"]
 
 
 def _fmt(x: float) -> str:
@@ -35,35 +61,77 @@ def _fmt_waveform(w: Waveform) -> str:
     raise TypeError(f"cannot serialise waveform of type {type(w).__name__}")
 
 
-def format_netlist(netlist: Netlist, t_end: float | None = None) -> str:
-    """Render a netlist as flat-SPICE text.
+def _fmt_element(e: Element) -> str:
+    """One SPICE card for any supported element."""
+    if isinstance(e, Resistor):
+        return f"{e.name} {e.pos} {e.neg} {_fmt(e.resistance)}"
+    if isinstance(e, Capacitor):
+        return f"{e.name} {e.pos} {e.neg} {_fmt(e.capacitance)}"
+    if isinstance(e, Inductor):
+        return f"{e.name} {e.pos} {e.neg} {_fmt(e.inductance)}"
+    if isinstance(e, (VoltageSource, CurrentSource)):
+        return f"{e.name} {e.pos} {e.neg} {_fmt_waveform(e.waveform)}"
+    raise TypeError(f"cannot serialise element of type {type(e).__name__}")
+
+
+def iter_cards(
+    netlist: Netlist,
+    t_end: float | None = None,
+    order: str = "by-type",
+) -> Iterator[str]:
+    """Yield the netlist's SPICE card lines one at a time (no newlines).
 
     Parameters
     ----------
     netlist:
         The circuit to serialise.
     t_end:
-        Optional transient stop time; when given, a ``.tran`` directive is
-        emitted (step hint = t_end/1000, mirroring the paper's 1000-step
-        trapezoidal baseline).
+        Optional transient stop time; when given, a ``.tran`` directive
+        is emitted (step hint = t_end/1000, mirroring the paper's
+        1000-step trapezoidal baseline).
+    order:
+        ``"by-type"`` (grouped R/C/L/V/I) or ``"insertion"`` (element
+        insertion order, the bit-identical round-trip order).
     """
-    lines = [f"* {netlist.title}"]
-    for r in netlist.resistors:
-        lines.append(f"{r.name} {r.pos} {r.neg} {_fmt(r.resistance)}")
-    for c in netlist.capacitors:
-        lines.append(f"{c.name} {c.pos} {c.neg} {_fmt(c.capacitance)}")
-    for ind in netlist.inductors:
-        lines.append(f"{ind.name} {ind.pos} {ind.neg} {_fmt(ind.inductance)}")
-    for v in netlist.voltage_sources:
-        lines.append(f"{v.name} {v.pos} {v.neg} {_fmt_waveform(v.waveform)}")
-    for i in netlist.current_sources:
-        lines.append(f"{i.name} {i.pos} {i.neg} {_fmt_waveform(i.waveform)}")
+    if order not in ("by-type", "insertion"):
+        raise ValueError(
+            f"order must be 'by-type' or 'insertion', got {order!r}"
+        )
+    yield f"* {netlist.title}"
+    if order == "insertion":
+        for e in netlist.elements():
+            yield _fmt_element(e)
+    else:
+        for group in (
+            netlist.resistors,
+            netlist.capacitors,
+            netlist.inductors,
+            netlist.voltage_sources,
+            netlist.current_sources,
+        ):
+            for e in group:
+                yield _fmt_element(e)
     if t_end is not None:
-        lines.append(f".tran {_fmt(t_end / 1000.0)} {_fmt(t_end)}")
-    lines.append(".end")
-    return "\n".join(lines) + "\n"
+        yield f".tran {_fmt(t_end / 1000.0)} {_fmt(t_end)}"
+    yield ".end"
 
 
-def write_file(netlist: Netlist, path: str | Path, t_end: float | None = None) -> None:
-    """Write :func:`format_netlist` output to ``path``."""
-    Path(path).write_text(format_netlist(netlist, t_end=t_end))
+def format_netlist(
+    netlist: Netlist,
+    t_end: float | None = None,
+    order: str = "by-type",
+) -> str:
+    """Render a netlist as flat-SPICE text (see :func:`iter_cards`)."""
+    return "\n".join(iter_cards(netlist, t_end=t_end, order=order)) + "\n"
+
+
+def write_file(
+    netlist: Netlist,
+    path: str | Path,
+    t_end: float | None = None,
+    order: str = "by-type",
+) -> None:
+    """Stream :func:`iter_cards` output to ``path`` line by line."""
+    with open(Path(path), "w") as f:
+        for line in iter_cards(netlist, t_end=t_end, order=order):
+            f.write(line + "\n")

@@ -10,6 +10,14 @@ Usage (after ``pip install -e .``)::
         --h 10p --out waves.csv
     python -m repro.cli simulate grid.spice --t-end 10n --distributed \
         --out waves.npz
+    python -m repro.cli run --netlist ibmpg_like.spice --distributed \
+        --batch auto
+
+``simulate`` loads the deck through the in-memory object parser;
+``run`` streams it through :mod:`repro.circuit.ingest` — the
+industrial-scale path for ibmpg-style decks with 100k+ nodes, which
+never materialises per-element objects and defaults ``--t-end`` to the
+deck's ``.tran`` stop time.
 
 ``--method`` resolves through the :mod:`repro.engine` integrator
 registry — MATEX flavours (``r-matex``, ``i-matex``, ``mexp``) and the
@@ -32,6 +40,7 @@ import numpy as np
 
 from repro.analysis.droop import droop_report
 from repro.baselines.fixed_step import dc_operating_point
+from repro.circuit.ingest import ingest_file
 from repro.circuit.mna import assemble
 from repro.circuit.parser import parse_file, parse_value
 from repro.core.options import SolverOptions
@@ -86,6 +95,27 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("netlist", type=Path)
     sim.add_argument("--t-end", required=True,
                      help="simulation horizon (SPICE suffixes ok)")
+    _add_sim_options(sim)
+
+    run = sub.add_parser(
+        "run",
+        help="stream an ibmpg-style deck (100k+ nodes) and simulate",
+        description="Transient simulation through the memory-bounded "
+                    "streaming ingester (repro.circuit.ingest): the deck "
+                    "is stamped directly into sparse matrices without "
+                    "per-element objects.",
+    )
+    run.add_argument("--netlist", type=Path, required=True,
+                     help="ibmpg-style SPICE deck to stream")
+    run.add_argument("--t-end", default=None,
+                     help="simulation horizon (SPICE suffixes ok); "
+                          "defaults to the deck's .tran stop time")
+    _add_sim_options(run)
+    return parser
+
+
+def _add_sim_options(sim: argparse.ArgumentParser) -> None:
+    """Simulation options shared by ``simulate`` and ``run``."""
     sim.add_argument(
         "--method", default="r-matex",
         help="integrator, resolved via the registry: "
@@ -118,7 +148,6 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output file (.csv or .npz)")
     sim.add_argument("--vdd", default=None,
                      help="nominal rail voltage: prints a droop report")
-    return parser
 
 
 def _load(path: Path):
@@ -174,12 +203,33 @@ def _export(result: TransientResult, nodes, out: Path) -> None:
             f.write(",".join(row) + "\n")
 
 
-def _cmd_simulate(args) -> int:
-    system = _load(args.netlist)
-    t_end = parse_value(args.t_end)
-    cls = get_integrator(args.method)
-    matex_method = getattr(cls, "krylov_method", None)
+def _usage_error(message: str) -> int:
+    """Print a usage-style error (argparse convention) and return 2."""
+    print(f"repro.cli: error: {message}", file=sys.stderr)
+    return 2
 
+
+class _UsageError(Exception):
+    """An argv problem reported as a usage message, not a traceback."""
+
+
+def _resolve_plan(args):
+    """Validate everything derivable from argv alone, before the load.
+
+    A streamed 100k-node deck takes seconds to minutes to ingest; an
+    unknown method, a contradictory flag combination or an unparseable
+    numeric option must fail before that work, not after.  Returns the
+    resolved ``(integrator_cls, matex_method)`` plan so the simulation
+    body never re-derives (and cannot drift from) these checks.
+    ``_UsageError`` exits with a usage message; ValueErrors keep the
+    historical raw-raise behaviour the seed tests assert via ``main()``.
+    """
+    cls = get_integrator(args.method)  # unknown method raises here
+    matex_method = getattr(cls, "krylov_method", None)
+    if args.batch != "off" and not args.distributed:
+        raise _UsageError(
+            f"--batch {args.batch} only applies to --distributed runs"
+        )
     if args.distributed:
         if matex_method is None:
             raise ValueError(
@@ -192,6 +242,59 @@ def _cmd_simulate(args) -> int:
                 "superposition step needs every node's full trajectory "
                 "in memory"
             )
+    else:
+        needs_h = getattr(cls, "needs_step_size", False)
+        if args.h is not None and not needs_h:
+            raise ValueError(
+                f"integrator {cls.name!r} chooses its own time axis; "
+                f"--h only applies to fixed-grid methods "
+                f"(tr, be, fe)"
+            )
+        if needs_h and args.h is None:
+            raise ValueError(
+                f"integrator {cls.name!r} marches a fixed grid; "
+                f"pass the step size with --h (e.g. --h 10p)"
+            )
+    # Numeric options fail on argv content, not after the deck load.
+    for value in (args.gamma, args.h, args.vdd, args.t_end):
+        if value is not None:
+            parse_value(value)
+    return cls, matex_method
+
+
+def _cmd_simulate(args) -> int:
+    try:
+        plan = _resolve_plan(args)
+    except _UsageError as exc:
+        return _usage_error(str(exc))
+    system = _load(args.netlist)
+    return _simulate_system(system, parse_value(args.t_end), args, plan)
+
+
+def _cmd_run(args) -> int:
+    try:
+        plan = _resolve_plan(args)
+    except _UsageError as exc:
+        return _usage_error(str(exc))
+    res = ingest_file(args.netlist)
+    print(res.stats.summary())
+    if args.t_end is not None:
+        t_end = parse_value(args.t_end)
+    elif res.stats.tran_stop is not None:
+        t_end = res.stats.tran_stop
+        print(f"t_end = {t_end:g} s (from the deck's .tran directive)")
+    else:
+        return _usage_error(
+            f"deck {args.netlist} has no .tran directive; pass --t-end"
+        )
+    return _simulate_system(res.system, t_end, args, plan)
+
+
+def _simulate_system(system, t_end: float, args, plan) -> int:
+    """Run a :func:`_resolve_plan`-validated plan on a loaded system."""
+    cls, matex_method = plan
+
+    if args.distributed:
         sink = None
         opts = SolverOptions(
             method=matex_method, gamma=parse_value(args.gamma),
@@ -207,23 +310,11 @@ def _cmd_simulate(args) -> int:
               f"LU cache hits {dres.factor_cache_hits}")
     else:
         sink = make_sink(args.sink)
-        needs_h = getattr(cls, "needs_step_size", False)
-        if args.h is not None and not needs_h:
-            raise ValueError(
-                f"integrator {cls.name!r} chooses its own time axis; "
-                f"--h only applies to fixed-grid methods "
-                f"(tr, be, fe)"
-            )
         if matex_method is not None:
             integrator = cls(
                 system, gamma=parse_value(args.gamma), eps_rel=args.eps
             )
-        elif needs_h:
-            if args.h is None:
-                raise ValueError(
-                    f"integrator {cls.name!r} marches a fixed grid; "
-                    f"pass the step size with --h (e.g. --h 10p)"
-                )
+        elif getattr(cls, "needs_step_size", False):
             integrator = cls(system, parse_value(args.h))
         else:
             integrator = cls(system)  # adaptive: owns its step policy
@@ -250,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
         "info": _cmd_info,
         "dc": _cmd_dc,
         "simulate": _cmd_simulate,
+        "run": _cmd_run,
     }
     return handlers[args.command](args)
 

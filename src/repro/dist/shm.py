@@ -42,12 +42,23 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "ShmArrayRef",
+    "ShmAttachError",
     "shm_available",
     "new_segment_prefix",
     "to_shared",
     "from_shared",
     "cleanup_segments",
 ]
+
+
+class ShmAttachError(RuntimeError):
+    """A :class:`ShmArrayRef` points at a segment that no longer exists.
+
+    Attaching consumes the segment *name* (the parent unlinks it
+    immediately), so a ref is single-use by design: a duplicated or
+    re-delivered ref — e.g. a retry after a pool failure handing the
+    same result back twice — cannot be rehydrated a second time.
+    """
 
 
 @dataclass(frozen=True)
@@ -57,6 +68,15 @@ class ShmArrayRef:
     name: str
     shape: tuple
     dtype: str
+
+    def run_prefix(self) -> str:
+        """The run-unique sweep prefix this segment was created under.
+
+        Names are built as ``f"{prefix}t{task_id}"`` and the prefix
+        (``repro<pid>x<hex8>``) can never contain ``"t"``, so splitting
+        at the last ``"t"`` recovers it exactly.
+        """
+        return self.name.rpartition("t")[0]
 
 
 def shm_available() -> bool:
@@ -124,14 +144,29 @@ def _close_segment(seg) -> None:
 def from_shared(result: NodeResult) -> NodeResult:
     """Rehydrate a shared-memory result into a zero-copy view (parent).
 
-    No-op for results whose states travelled as plain arrays.  The
-    segment name is unlinked immediately — the mapping stays valid until
-    the returned array is garbage collected.
+    No-op for results whose states travelled as plain arrays (which
+    also makes rehydrating an *already-rehydrated* result idempotent).
+    The segment name is unlinked immediately — the mapping stays valid
+    until the returned array is garbage collected — so each ref can be
+    attached exactly once: a duplicated/re-delivered ref raises a clear
+    :class:`ShmAttachError` instead of a bare ``FileNotFoundError``,
+    after sweeping the run's remaining segments so a half-consumed
+    batch cannot leak them.
     """
     ref = result.states
     if not isinstance(ref, ShmArrayRef):
         return result
-    seg = shared_memory.SharedMemory(name=ref.name)
+    try:
+        seg = shared_memory.SharedMemory(name=ref.name)
+    except FileNotFoundError as exc:
+        swept = cleanup_segments(ref.run_prefix())
+        raise ShmAttachError(
+            f"shared segment {ref.name!r} no longer exists — the ref was "
+            f"already attached once (attach unlinks the name) or the "
+            f"segment was swept after a pool failure; a duplicated or "
+            f"re-delivered ShmArrayRef cannot be rehydrated twice "
+            f"(swept {swept} sibling segment(s) of this run)"
+        ) from exc
     arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
     try:
         seg.unlink()

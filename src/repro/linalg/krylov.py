@@ -42,7 +42,12 @@ import scipy.sparse as sp
 
 from repro.linalg.arnoldi import ArnoldiResult, arnoldi
 from repro.linalg.expm import expm, expm_e1
-from repro.linalg.lu import FACTORIZATION_CACHE, FactorizationError, SparseLU
+from repro.linalg.lu import (
+    FACTORIZATION_CACHE,
+    FactorizationError,
+    SparseLU,
+    canonical_shift,
+)
 
 __all__ = [
     "HessenbergFactors",
@@ -666,7 +671,10 @@ class RationalKrylov(KrylovExpmOperator):
     def __init__(self, C: sp.spmatrix, G: sp.spmatrix, gamma: float = 1e-10):
         if gamma <= 0.0:
             raise ValueError(f"gamma must be positive, got {gamma!r}")
-        self.gamma = float(gamma)
+        # Canonicalise γ before it touches the pencil: γ values equal up
+        # to arithmetic-order noise (h/2 vs 0.5*h-style derivations) must
+        # build the same C+γG and share one FACTORIZATION_CACHE entry.
+        self.gamma = canonical_shift(float(gamma))
         super().__init__(C, G)
 
     def _factor(self) -> None:

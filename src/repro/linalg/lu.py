@@ -23,6 +23,7 @@ counts its own substitutions, so solver statistics stay per-consumer.
 from __future__ import annotations
 
 import hashlib
+import math
 import threading
 import time
 from collections import OrderedDict
@@ -37,6 +38,7 @@ __all__ = [
     "FactorizationError",
     "FactorizationCache",
     "FACTORIZATION_CACHE",
+    "canonical_shift",
     "matrix_fingerprint",
 ]
 
@@ -125,6 +127,29 @@ class SparseLU:
         view.n_solves = 0
         view._lu = origin._lu
         return view
+
+
+def canonical_shift(gamma: float, sig_digits: int = 12) -> float:
+    """Quantize a rational shift γ to its canonical representative.
+
+    γ values that are mathematically equal but derived through different
+    arithmetic orders (``h/2`` vs ``(t1-t0)/2`` vs a running sum) can
+    differ by an ulp.  Used raw, such values build pencils ``C + γG``
+    that differ in the last bit — a silent :data:`FACTORIZATION_CACHE`
+    miss that refactors a matrix the cache already holds.  Rounding to
+    ``sig_digits`` significant decimal digits (default 12, ~40 bits —
+    far below solver accuracy requirements on γ, far above float noise)
+    collapses those representations onto one key **and one pencil**, so
+    consumers that canonicalise γ before building the shifted matrix
+    hit the cache and agree bit-for-bit.
+
+    Values already expressible in ``sig_digits`` digits (every literal
+    like ``1e-10`` or ``5e-11``) round-trip unchanged.
+    """
+    g = float(gamma)
+    if g == 0.0 or not math.isfinite(g):
+        return g
+    return float(f"{g:.{sig_digits - 1}e}")
 
 
 def matrix_fingerprint(matrix: sp.spmatrix) -> str:

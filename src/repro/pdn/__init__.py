@@ -1,6 +1,7 @@
 """PDN substrate: grid/mesh generators, workloads, benchmark suite."""
 
 from repro.pdn.grid import PdnConfig, generate_power_grid
+from repro.pdn.ibmpg import synthesize_ibmpg
 from repro.pdn.rc_mesh import mesh_node, stiff_rc_mesh
 from repro.pdn.stiffness import eigenvalue_extremes, stiffness
 from repro.pdn.suite import SUITE, SuiteCase, build_case, build_netlist, case_names
@@ -21,4 +22,5 @@ __all__ = [
     "mesh_node",
     "stiffness",
     "stiff_rc_mesh",
+    "synthesize_ibmpg",
 ]

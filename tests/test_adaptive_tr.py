@@ -57,3 +57,28 @@ class TestAdaptiveTrapezoidal:
             simulate_adaptive_trapezoidal(
                 mesh_system, 1e-9, tol=1e-30,
                 x0=np.zeros(mesh_system.dim), max_factorizations=2)
+
+
+class TestStepSizeUnderflow:
+    def test_pathological_tolerance_raises_instead_of_hanging(
+        self, rc_ladder_system
+    ):
+        """An unreachable tol with a tiny h_min drives h below the float
+        resolution of t; the controller must diagnose the underflow
+        (previously the march spun forever re-halving dt)."""
+        with pytest.raises(RuntimeError, match="step-size underflow"):
+            simulate_adaptive_trapezoidal(
+                rc_ladder_system, 1e-9, tol=1e-300,
+                h_init=1e-12, h_min=1e-30,
+                x0=np.zeros(rc_ladder_system.dim),
+                max_factorizations=10_000,
+            )
+
+    def test_final_approach_to_t_end_is_not_flagged(self, rc_ladder_system):
+        """Steps clamped by the horizon legitimately shrink to ulp scale;
+        only policy-shrunk steps are underflow."""
+        res = simulate_adaptive_trapezoidal(
+            rc_ladder_system, 1e-9, tol=1e-4,
+            x0=np.zeros(rc_ladder_system.dim),
+        )
+        assert res.times[-1] == pytest.approx(1e-9, rel=1e-12)

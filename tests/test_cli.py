@@ -72,6 +72,33 @@ class TestSimulate:
             main(["simulate", str(deck), "--t-end", "1n",
                   "--out", str(tmp_path / "waves.xlsx")])
 
+    def test_batch_negative_exits_with_usage_message(self, deck, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", str(deck), "--t-end", "1n",
+                  "--distributed", "--batch", "-3"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "batch width must be >= 1" in err
+
+    def test_batch_garbage_exits_with_usage_message(self, deck, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", str(deck), "--t-end", "1n",
+                  "--distributed", "--batch", "foo"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected 'off', 'auto' or a positive integer" in err
+
+    def test_batch_without_distributed_is_a_usage_error(self, deck, capsys):
+        assert main(["simulate", str(deck), "--t-end", "1n",
+                     "--batch", "auto"]) == 2
+        assert "only applies to --distributed" in capsys.readouterr().err
+
+    def test_batch_auto_distributed_accepted(self, deck, capsys):
+        assert main(["simulate", str(deck), "--t-end", "1n",
+                     "--distributed", "--batch", "auto"]) == 0
+        assert "distributed:" in capsys.readouterr().out
+
     def test_distributed_csv_matches_single(self, deck, tmp_path):
         single = tmp_path / "s.csv"
         dist = tmp_path / "d.csv"
@@ -82,3 +109,49 @@ class TestSimulate:
         a = np.loadtxt(single, delimiter=",", skiprows=1)
         b = np.loadtxt(dist, delimiter=",", skiprows=1)
         assert np.allclose(a, b, atol=1e-6)
+
+
+class TestRun:
+    """The streaming-ingest subcommand (``repro run --netlist``)."""
+
+    @pytest.fixture
+    def ibmpg_deck(self, tmp_path):
+        from repro.pdn import PdnConfig, WorkloadSpec, synthesize_ibmpg
+
+        path = tmp_path / "pg_like.spice"
+        synthesize_ibmpg(
+            path,
+            PdnConfig(rows=8, cols=8),
+            WorkloadSpec(n_sources=6, n_shapes=2, t_end=1e-9,
+                         time_grid_points=8),
+        )
+        return path
+
+    def test_t_end_defaults_to_tran(self, ibmpg_deck, capsys):
+        assert main(["run", "--netlist", str(ibmpg_deck)]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out
+        assert "from the deck's .tran directive" in out
+
+    def test_distributed_batched(self, ibmpg_deck, capsys):
+        assert main(["run", "--netlist", str(ibmpg_deck),
+                     "--distributed", "--batch", "auto"]) == 0
+        assert "distributed:" in capsys.readouterr().out
+
+    def test_missing_tran_needs_explicit_t_end(self, tmp_path, capsys):
+        deck = tmp_path / "no_tran.spice"
+        deck.write_text("R1 a 0 1\nC1 a 0 1p\nI1 a 0 1m\n")
+        assert main(["run", "--netlist", str(deck)]) == 2
+        assert "pass --t-end" in capsys.readouterr().err
+        assert main(["run", "--netlist", str(deck), "--t-end", "1n"]) == 0
+
+    def test_matches_object_parser_simulate(self, ibmpg_deck, tmp_path):
+        """Streaming and object paths agree through the full CLI."""
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        assert main(["simulate", str(ibmpg_deck), "--t-end", "1n",
+                     "--nodes", "n2_2", "--out", str(a)]) == 0
+        assert main(["run", "--netlist", str(ibmpg_deck),
+                     "--nodes", "n2_2", "--out", str(b)]) == 0
+        va = np.loadtxt(a, delimiter=",", skiprows=1)
+        vb = np.loadtxt(b, delimiter=",", skiprows=1)
+        assert np.allclose(va, vb, atol=1e-9)

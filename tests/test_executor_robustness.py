@@ -25,6 +25,16 @@ from repro.dist import (
     SerialExecutor,
     SimulationTask,
 )
+from repro.dist.messages import NodeResult
+from repro.dist.shm import (
+    ShmArrayRef,
+    ShmAttachError,
+    cleanup_segments,
+    from_shared,
+    new_segment_prefix,
+    shm_available,
+    to_shared,
+)
 from repro.linalg.lu import FACTORIZATION_CACHE
 
 OPTS = SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-8)
@@ -82,6 +92,70 @@ class TestWorkerKilledMidTask:
                           good_task(mesh_system, 1, 1)])
         assert [r.task_id for r in results] == [0, 1]
         assert all(np.all(np.isfinite(r.states)) for r in results)
+
+
+def shm_result(task_id: int, prefix: str) -> NodeResult:
+    """A small NodeResult whose states live in a fresh shared segment."""
+    return to_shared(
+        NodeResult(
+            task_id=task_id, group_id=task_id, label="shm",
+            times=np.array([0.0, 1e-10]),
+            states=np.arange(8.0).reshape(2, 4) + task_id,
+        ),
+        prefix,
+    )
+
+
+@pytest.mark.skipif(not shm_available(), reason="POSIX shared memory needed")
+class TestShmDoubleAttach:
+    """A ShmArrayRef is single-use: re-delivery must fail loudly, not leak.
+
+    The retry-after-pool-failure path can hand the parent the same
+    pickled ref twice; the first attach unlinks the segment name, so the
+    second used to crash with a bare ``FileNotFoundError`` deep inside
+    ``shared_memory`` — and left every *other* segment of the run alive.
+    """
+
+    def test_rehydrated_result_is_idempotent(self):
+        prefix = new_segment_prefix()
+        try:
+            shared = shm_result(0, prefix)
+            first = from_shared(shared)
+            again = from_shared(first)  # plain-array states: no-op
+            assert again is first
+            np.testing.assert_array_equal(
+                first.states, np.arange(8.0).reshape(2, 4)
+            )
+        finally:
+            cleanup_segments(prefix)
+
+    def test_second_attach_raises_clear_error(self):
+        prefix = new_segment_prefix()
+        try:
+            shared = shm_result(0, prefix)
+            assert isinstance(shared.states, ShmArrayRef)
+            from_shared(shared)
+            with pytest.raises(ShmAttachError,
+                               match="cannot be rehydrated twice"):
+                from_shared(shared)
+        finally:
+            cleanup_segments(prefix)
+
+    def test_attach_failure_sweeps_sibling_segments(self):
+        """A failed attach must not strand the run's other segments."""
+        prefix = new_segment_prefix()
+        try:
+            dup = shm_result(0, prefix)
+            sibling = shm_result(1, prefix)
+            assert dup.states.run_prefix() == prefix
+            from_shared(dup)
+            with pytest.raises(ShmAttachError):
+                from_shared(dup)  # sweeps the whole prefix
+            # The sibling's segment was reclaimed by the sweep.
+            with pytest.raises(ShmAttachError):
+                from_shared(sibling)
+        finally:
+            cleanup_segments(prefix)
 
 
 class TestCacheProcessScope:

@@ -5,10 +5,12 @@ import pytest
 import scipy.sparse as sp
 
 from repro.core import MatexSolver, SolverOptions
+from repro.linalg.krylov import RationalKrylov
 from repro.linalg.lu import (
     FACTORIZATION_CACHE,
     FactorizationCache,
     FactorizationError,
+    canonical_shift,
     matrix_fingerprint,
 )
 
@@ -116,6 +118,43 @@ class TestCacheBehaviour:
     def test_max_entries_validation(self):
         with pytest.raises(ValueError, match="max_entries"):
             FactorizationCache(max_entries=0)
+
+
+class TestGammaCanonicalisation:
+    def test_literals_round_trip_unchanged(self):
+        for g in (1e-10, 5e-11, 0.5, 1.0, 2.2e-16, 1e3):
+            assert canonical_shift(g) == g
+        assert canonical_shift(0.0) == 0.0
+        assert canonical_shift(np.inf) == np.inf
+
+    def test_ulp_noise_collapses(self):
+        g = 3e-10
+        assert canonical_shift(np.nextafter(g, np.inf)) == g
+        assert canonical_shift(np.nextafter(g, 0.0)) == g
+        # The classic arithmetic-order pair.
+        assert canonical_shift(0.1 + 0.2) == canonical_shift(0.3)
+        assert (0.1 + 0.2) != 0.3  # the raw floats really do differ
+
+    def test_equal_gamma_requests_factor_once(self, mesh_system):
+        """γ derived through different arithmetic orders must share one
+        cache entry — previously an exact-float key missed silently."""
+        FACTORIZATION_CACHE.clear()
+        g = 1e-10
+        g_noisy = float(np.nextafter(g, np.inf))
+        assert g_noisy != g
+        op1 = RationalKrylov(mesh_system.C, mesh_system.G, gamma=g)
+        op2 = RationalKrylov(mesh_system.C, mesh_system.G, gamma=g_noisy)
+        assert op1.gamma == op2.gamma  # canonicalised before the pencil
+        hits, misses = FACTORIZATION_CACHE.counters()
+        assert (hits, misses) == (1, 1)
+        assert op2.lu._lu is op1.lu._lu  # shared factors
+
+    def test_distinct_gammas_still_separate(self, mesh_system):
+        FACTORIZATION_CACHE.clear()
+        RationalKrylov(mesh_system.C, mesh_system.G, gamma=1e-10)
+        RationalKrylov(mesh_system.C, mesh_system.G, gamma=2e-10)
+        hits, misses = FACTORIZATION_CACHE.counters()
+        assert (hits, misses) == (0, 2)
 
 
 class TestSolverIntegration:

@@ -1,0 +1,235 @@
+"""Tests for the streaming ibmpg-style ingester (repro.circuit.ingest).
+
+The load-bearing property is **bit-identity**: a deck written in element
+insertion order must stream back into an :class:`MNASystem` whose CSC
+arrays are byte-for-byte equal to ``assemble(netlist)`` — node index
+assignment, stamp sequence and duplicate-summation order all preserved.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    DC,
+    PWL,
+    IngestError,
+    NetlistError,
+    ParseError,
+    Pulse,
+    assemble,
+    format_netlist,
+    ingest_file,
+    ingest_text,
+)
+from repro.core import SolverOptions
+from repro.dist import MatexScheduler
+from repro.pdn import PdnConfig, WorkloadSpec, synthesize_ibmpg
+from tests.conftest import build_multi_source_mesh, build_small_pdn
+
+
+def assert_bit_identical(ref, streamed):
+    """CSC arrays of G/C/B byte-for-byte equal, plus the node map."""
+    for name in ("G", "C", "B"):
+        a, b = getattr(ref, name), getattr(streamed, name)
+        assert a.shape == b.shape, name
+        np.testing.assert_array_equal(a.indptr, b.indptr, err_msg=name)
+        np.testing.assert_array_equal(a.indices, b.indices, err_msg=name)
+        np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+    assert ref.netlist.node_names() == streamed.netlist.node_names()
+    assert ref.waveforms == streamed.waveforms
+    assert ref.n_current_inputs == streamed.n_current_inputs
+
+
+class TestRoundTripBitIdentity:
+    @pytest.mark.parametrize("build", [build_small_pdn, build_multi_source_mesh])
+    def test_insertion_order_roundtrip(self, build):
+        net = build()
+        text = format_netlist(net, t_end=1e-9, order="insertion")
+        res = ingest_text(text)
+        assert_bit_identical(assemble(net), res.system)
+        assert res.stats.tran_stop == 1e-9
+
+    def test_pdn_with_inductors_roundtrip(self, tmp_path):
+        cfg = PdnConfig(rows=8, cols=8, l_package=5e-10, n_pads=3)
+        wl = WorkloadSpec(n_sources=6, n_shapes=2, t_end=1e-9,
+                          time_grid_points=8)
+        path = tmp_path / "grid.spice"
+        net = synthesize_ibmpg(path, cfg, wl)
+        res = ingest_file(path)
+        assert_bit_identical(assemble(net), res.system)
+        # The deck advertises its own horizon.
+        assert res.stats.tran_stop == pytest.approx(1e-9)
+        assert res.stats.n_inductors == 3
+        assert res.stats.dim == res.system.dim
+
+    def test_streamed_system_runs_distributed_identically(self, small_pdn):
+        text = format_netlist(small_pdn, order="insertion")
+        streamed = ingest_text(text).system
+        opts = SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-7)
+        ref = MatexScheduler(assemble(small_pdn), opts).run(1e-9)
+        got = MatexScheduler(streamed, opts).run(1e-9)
+        np.testing.assert_array_equal(ref.result.states, got.result.states)
+
+
+class TestDialect:
+    def test_comments_blanks_continuations_suffixes(self):
+        res = ingest_text(
+            "* a title comment\n"
+            "\n"
+            "R1 n1_1 0 4.7k\n"
+            "C1 n1_1 0 10p\n"
+            "Iload n1_1 0 PULSE(0 1m\n"
+            "+ 100p 20p\n"
+            "+ 20p 100p)\n"
+            ".tran 1p 1n\n"
+            ".end\n"
+        )
+        s = res.system
+        assert s.dim == 1
+        assert s.G[0, 0] == pytest.approx(1.0 / 4700.0)
+        assert s.C[0, 0] == pytest.approx(1e-11)
+        assert isinstance(s.waveforms[0], Pulse)
+        assert res.stats.tran_step == pytest.approx(1e-12)
+        assert res.stats.tran_stop == pytest.approx(1e-9)
+
+    def test_title_line_and_ground_aliases(self):
+        res = ingest_text(
+            "my power grid\n"
+            "Rg n_0_1 gnd 1.0\n"
+            "Vs n_0_1 GND 1.8\n"
+        )
+        assert res.system.netlist.title == "my power grid"
+        assert res.system.netlist.node_names() == ("n_0_1",)
+        assert isinstance(res.system.waveforms[0], DC)
+
+    def test_pwl_and_dc_sources(self):
+        res = ingest_text(
+            "R1 a 0 1\n"
+            "V1 a 0 DC 1.8\n"
+            "I1 a 0 PWL(0 0 1n 1m)\n"
+        )
+        wf = res.system.waveforms
+        assert wf[0] == PWL([(0.0, 0.0), (1e-9, 1e-3)])  # current first
+        assert wf[1] == DC(1.8)
+
+    def test_end_stops_parsing(self):
+        res = ingest_text("R1 a 0 1\n.end\nR2 b 0 nonsense\n")
+        assert res.stats.n_resistors == 1
+
+    def test_cards_after_end_not_counted(self):
+        res = ingest_text("R1 a 0 1\n.end\nR1 a 0 1\n")  # dup after .end: fine
+        assert res.stats.n_cards == 1
+
+
+class TestErrors:
+    def test_malformed_card_has_line_number(self):
+        with pytest.raises(IngestError, match="line 2"):
+            ingest_text("R1 a 0 1\nR2 a\n")
+
+    def test_continuation_without_card(self):
+        # Raised by the shared card tokeniser (parser.iter_logical_cards).
+        with pytest.raises(ParseError, match="continuation"):
+            ingest_text("+ 1 2 3\n")
+
+    def test_unsupported_element_type(self):
+        with pytest.raises(IngestError, match="unsupported element type"):
+            ingest_text("R1 a 0 1\nQ1 a b c model\n")
+
+    def test_duplicate_element_name(self):
+        with pytest.raises(IngestError, match="duplicate element name"):
+            ingest_text("R1 a 0 1\nR1 a 0 2\n")
+
+    def test_both_terminals_grounded(self):
+        with pytest.raises(IngestError, match="both terminals grounded"):
+            ingest_text("R1 0 gnd 1\n")
+
+    def test_nonpositive_value_rejected(self):
+        with pytest.raises(IngestError, match="positive"):
+            ingest_text("R1 a 0 -5\n")
+
+    def test_floating_node_rejected(self):
+        # A cap-only node has no DC path to ground.
+        with pytest.raises(NetlistError, match="no DC path to ground"):
+            ingest_text("R1 a 0 1\nC2 b 0 1p\n")
+
+    def test_validate_false_skips_connectivity(self):
+        res = ingest_text("R1 a 0 1\nC2 b 0 1p\n", validate=False)
+        assert res.system.dim == 2
+
+    def test_empty_netlist(self):
+        with pytest.raises(NetlistError, match="empty netlist"):
+            ingest_text("* nothing here\n")
+
+
+class TestStreamedNetlist:
+    def test_netlist_interface(self, small_pdn):
+        streamed = ingest_text(
+            format_netlist(small_pdn, order="insertion")
+        ).system.netlist
+        ref = small_pdn
+        assert streamed.n_nodes == ref.n_nodes
+        assert streamed.dim == ref.dim
+        assert streamed.unknowns == ref.unknowns
+        assert len(streamed) == len(ref)
+        for name in ref.node_names():
+            assert streamed.node_index(name) == ref.node_index(name)
+        assert streamed.node_index("0") == -1
+        with pytest.raises(NetlistError, match="unknown node"):
+            streamed.node_index("no_such_node")
+        # summary matches the Netlist format field for field (the title
+        # differs: the writer emits it as a comment, not a title line)
+        assert (streamed.summary().split(": ", 1)[1]
+                == ref.summary().split(": ", 1)[1])
+
+    def test_node_voltage_reporting(self, small_pdn):
+        system = ingest_text(
+            format_netlist(small_pdn, order="insertion")
+        ).system
+        x = np.arange(float(system.dim))
+        idx = system.netlist.node_index("g3_3")
+        assert system.node_voltage(x, "g3_3") == x[idx]
+        assert system.node_voltages(x)["g0_0"] == x[0]
+
+
+class TestWriterOrders:
+    def test_by_type_unchanged_default(self, small_pdn):
+        # The grouped layout is the historical default format.
+        text = format_netlist(small_pdn)
+        lines = [ln for ln in text.splitlines() if not ln.startswith("*")]
+        kinds = [ln[0] for ln in lines if ln[0] != "."]
+        assert kinds == sorted(kinds, key="RCLVI".index)
+
+    def test_insertion_order_preserves_element_sequence(self, small_pdn):
+        text = format_netlist(small_pdn, order="insertion")
+        names = [ln.split()[0] for ln in text.splitlines()
+                 if ln and ln[0] not in "*."]
+        assert names == [e.name for e in small_pdn.elements()]
+
+    def test_unknown_order_rejected(self, small_pdn):
+        with pytest.raises(ValueError, match="order"):
+            format_netlist(small_pdn, order="shuffled")
+
+
+class TestSynthesizeIbmpg:
+    def test_deck_has_benchmark_flavour(self, tmp_path):
+        path = tmp_path / "pg.spice"
+        synthesize_ibmpg(path, PdnConfig(rows=6, cols=6),
+                         WorkloadSpec(n_sources=4, n_shapes=2,
+                                      time_grid_points=8))
+        text = path.read_text()
+        assert text.startswith("* ibmpg-style synthetic benchmark")
+        assert "\n.op\n" in text
+        assert "\n.tran " in text
+        assert text.rstrip().endswith(".end")
+
+    def test_deck_parses_with_object_parser_too(self, tmp_path):
+        """The streamed dialect stays a strict subset of the object one."""
+        from repro.circuit import parse_file
+
+        path = tmp_path / "pg.spice"
+        net = synthesize_ibmpg(path, PdnConfig(rows=5, cols=5),
+                               WorkloadSpec(n_sources=3, n_shapes=2,
+                                            time_grid_points=8))
+        reparsed = parse_file(path)
+        assert len(reparsed) == len(net)
+        assert assemble(reparsed).dim == assemble(net).dim

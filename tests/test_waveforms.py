@@ -66,6 +66,38 @@ class TestPWL:
         spots = w.transition_spots(1e-8)
         assert 1e-9 not in spots
 
+    def test_slope_right_sided_at_exact_breakpoints(self):
+        w = PWL([(0.0, 0.0), (1e-9, 1.0), (2e-9, 1.0), (3e-9, 0.0)])
+        assert w.slope(1e-9) == 0.0            # flat segment starts here
+        assert w.slope(2e-9) == pytest.approx(-1e9)
+        assert w.slope(3e-9) == 0.0            # past-final hold
+
+    def test_slope_snaps_ulp_noise_onto_breakpoints(self):
+        """A time an ulp off a breakpoint must read the same segment.
+
+        Spot lists and evaluation times are built through different
+        arithmetic; without snapping, an ulp *before* a breakpoint
+        returns the previous segment's slope — the scalar path would
+        disagree with the `_interp_table`-derived spot geometry.
+        """
+        w = PWL([(0.0, 0.0), (1e-9, 1.0), (2e-9, 1.0), (3e-9, 0.0)])
+        for bp in (1e-9, 2e-9, 3e-9):
+            below = np.nextafter(bp, 0.0)
+            above = np.nextafter(bp, np.inf)
+            assert w.slope(below) == w.slope(bp)
+            assert w.slope(above) == w.slope(bp)
+
+    def test_transition_spot_after_negative_breakpoint_not_missed(self):
+        """A ramp starting before t=0 still ends at an in-window spot."""
+        w = PWL([(-1e-9, 0.0), (1e-9, 1.0), (2e-9, 1.0)])
+        spots = w.transition_spots(1e-8)
+        assert 1e-9 in spots          # slope changes 5e8 -> 0 here
+        assert all(s >= 0.0 for s in spots)
+
+    def test_transition_spots_stop_at_horizon(self):
+        w = PWL([(0.0, 0.0), (1e-9, 1.0), (5e-9, 0.0)])
+        assert w.transition_spots(2e-9) == [0.0, 1e-9]
+
     def test_requires_increasing_times(self):
         with pytest.raises(ValueError, match="strictly increasing"):
             PWL([(0.0, 0.0), (0.0, 1.0)])
@@ -122,6 +154,16 @@ class TestPulse:
         assert p.value(1e-9 + 2e-10) == pytest.approx(p.value(2e-10))
         spots = p.transition_spots(2.5e-9)
         assert any(math.isclose(s, 1e-9 + 1e-10) for s in spots)
+
+    def test_periodic_slope_right_sided_at_fold(self):
+        """t_delay + k*t_period can fold to an ulp below the period;
+        slope() there must be the next bump's rise, not the tail hold."""
+        p = self.pulse(t_period=1e-9)
+        rise = (1e-3 - 0.0) / 5e-11
+        for k in (1, 2, 3):
+            spot = p.t_delay + k * p.t_period
+            assert p.slope(spot) == pytest.approx(rise)
+            assert p.value(spot) == pytest.approx(p.value(p.t_delay))
 
     def test_period_too_short_rejected(self):
         with pytest.raises(ValueError, match="shorter than one bump"):
@@ -193,6 +235,20 @@ class TestValuesArrayParity:
             spots = np.array(w.transition_spots(1e-9))
             vec = w.values_array(spots)
             scalar = np.array([w.value(float(t)) for t in spots])
+            np.testing.assert_allclose(vec, scalar, rtol=0.0, atol=1e-15)
+
+    def test_parity_ulp_around_spots_and_past_final(self):
+        """Ulp-perturbed breakpoints and the past-final hold region —
+        where scalar snapping and the cached-table path could drift."""
+        for w in self.WAVEFORMS:
+            spots = np.array(w.transition_spots(1e-9))
+            probe = np.concatenate([
+                np.nextafter(spots, -np.inf),
+                np.nextafter(spots, np.inf),
+                spots[-1] + np.array([1e-10, 1e-9, 1e-6, 1.0]),  # past final
+            ])
+            vec = w.values_array(probe)
+            scalar = np.array([w.value(float(t)) for t in probe])
             np.testing.assert_allclose(vec, scalar, rtol=0.0, atol=1e-15)
 
     def test_repeated_calls_share_cached_tables(self):
