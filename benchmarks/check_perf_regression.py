@@ -25,7 +25,12 @@ import os
 import sys
 from pathlib import Path
 
-DEFAULT_MODULES = ("bench_kernels", "bench_table3_distributed", "bench_ingest")
+DEFAULT_MODULES = (
+    "bench_kernels",
+    "bench_table3_distributed",
+    "bench_ingest",
+    "bench_sweep",
+)
 
 
 def load_results(path: Path) -> dict[str, dict]:

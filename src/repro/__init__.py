@@ -12,6 +12,9 @@ Quick tour of the public API (see README.md for a walkthrough):
 * simulate — :class:`repro.core.MatexSolver` (single node, Alg. 2) and
   :class:`repro.dist.MatexScheduler` (distributed, Fig. 4), plus the
   traditional baselines in :mod:`repro.baselines`;
+* sweep — :mod:`repro.plan` (compiled plans: freeze decomposition /
+  DC / schedules / factorisations once, execute many what-if
+  :class:`~repro.plan.Scenario` input patterns bit-identically);
 * analyse — :mod:`repro.analysis` (error metrics, the Sec. 3.4 speedup
   model) and :mod:`repro.experiments` (the paper's tables and figure).
 """
@@ -35,11 +38,13 @@ from repro.core import (
     superpose,
 )
 from repro.dist import MatexScheduler, MultiprocessExecutor, SerialExecutor
+from repro.plan import CompiledPlan, Scenario, Session, SimulationPlan
 
 __version__ = "0.1.0"
 
 __all__ = [
     "DC",
+    "CompiledPlan",
     "MNASystem",
     "MatexScheduler",
     "MatexSolver",
@@ -47,7 +52,10 @@ __all__ = [
     "Netlist",
     "PWL",
     "Pulse",
+    "Scenario",
     "SerialExecutor",
+    "Session",
+    "SimulationPlan",
     "SolverOptions",
     "TransientResult",
     "assemble",

@@ -125,6 +125,44 @@ class MNASystem:
             n_current_inputs=self.n_current_inputs,
         )
 
+    def rebind_sources(
+        self,
+        overrides: dict[int, Waveform] | None = None,
+        scales: dict[int, float] | None = None,
+    ) -> "MNASystem":
+        """Swap ``B·u(t)`` without re-stamping ``G`` or ``C``.
+
+        The matrices — and therefore every factorisation keyed on them
+        in the process-wide cache — are shared with ``self``; only the
+        waveform tuple changes.  This is the binding step of the
+        plan/compile/execute layering (:mod:`repro.plan`): one compiled
+        topology serves many "same system, different sources" scenarios.
+
+        Parameters
+        ----------
+        overrides:
+            ``{column: waveform}`` replacements, applied first.
+        scales:
+            ``{column: factor}`` value scalings, applied to the (possibly
+            overridden) waveform via :meth:`Waveform.scaled`.  Scaling
+            never moves transition spots.
+        """
+        new_waveforms = list(self.waveforms)
+        for col, w in (overrides or {}).items():
+            if not 0 <= col < self.n_inputs:
+                raise IndexError(f"input column {col} out of range")
+            new_waveforms[col] = w
+        for col, factor in (scales or {}).items():
+            if not 0 <= col < self.n_inputs:
+                raise IndexError(f"input column {col} out of range")
+            new_waveforms[col] = new_waveforms[col].scaled(factor)
+        return MNASystem(
+            netlist=self.netlist,
+            C=self.C, G=self.G, B=self.B,
+            waveforms=tuple(new_waveforms),
+            n_current_inputs=self.n_current_inputs,
+        )
+
     def is_c_singular(self) -> bool:
         """Cheap structural singularity check for ``C`` (empty rows)."""
         csr = self.C.tocsr()

@@ -96,6 +96,23 @@ class Waveform:
         """True when the waveform never changes (used for DC-only nodes)."""
         return False
 
+    def scaled(self, factor: float) -> "Waveform":
+        """This waveform with every *value* multiplied by ``factor``.
+
+        The time geometry (delays, breakpoints, transition spots) is
+        untouched — scaling a source never moves its transition spots,
+        which is what lets a :class:`repro.plan.Scenario` rescale inputs
+        against a compiled plan without invalidating its frozen
+        grid/schedules.  Concrete waveforms override this; third-party
+        subclasses that do not are rejected with a clear error instead
+        of being silently mis-scaled.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement scaled(); "
+            f"scenario source scaling needs a waveform that knows how to "
+            f"rescale its values"
+        )
+
 
 @dataclass(frozen=True)
 class DC(Waveform):
@@ -114,6 +131,9 @@ class DC(Waveform):
 
     def is_constant(self) -> bool:
         return True
+
+    def scaled(self, factor: float) -> "DC":
+        return DC(level=self.level * float(factor))
 
     def values_array(self, times):
         import numpy as np
@@ -204,6 +224,10 @@ class PWL(Waveform):
 
         xp, fp = self._interp_table
         return np.interp(np.asarray(times, dtype=float), xp, fp)
+
+    def scaled(self, factor: float) -> "PWL":
+        f = float(factor)
+        return PWL([(t, v * f) for t, v in self.points])
 
     def transition_spots(self, t_end: float) -> list[float]:
         spots = [0.0]
@@ -400,6 +424,15 @@ class Pulse(Waveform):
 
     def is_constant(self) -> bool:
         return self.v1 == self.v2
+
+    def scaled(self, factor: float) -> "Pulse":
+        f = float(factor)
+        return Pulse(
+            v1=self.v1 * f, v2=self.v2 * f,
+            t_delay=self.t_delay, t_rise=self.t_rise,
+            t_width=self.t_width, t_fall=self.t_fall,
+            t_period=self.t_period,
+        )
 
     # -- MATEX-specific helpers -----------------------------------------------
 

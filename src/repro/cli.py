@@ -12,12 +12,19 @@ Usage (after ``pip install -e .``)::
         --out waves.npz
     python -m repro.cli run --netlist ibmpg_like.spice --distributed \
         --batch auto
+    python -m repro.cli sweep --netlist ibmpg_like.spice \
+        --scenarios patterns.json
 
 ``simulate`` loads the deck through the in-memory object parser;
 ``run`` streams it through :mod:`repro.circuit.ingest` — the
 industrial-scale path for ibmpg-style decks with 100k+ nodes, which
 never materialises per-element objects and defaults ``--t-end`` to the
-deck's ``.tran`` stop time.
+deck's ``.tran`` stop time.  ``sweep`` compiles the deck **once** into
+a :class:`~repro.plan.SimulationPlan` and executes many what-if input
+scenarios against it in one :class:`~repro.plan.Session` (persistent
+workers, stacked lockstep marches — see :mod:`repro.plan`); scenarios
+come from a JSON spec file or ``random:<n>[:seed]`` synthetic load
+patterns.
 
 ``--method`` resolves through the :mod:`repro.engine` integrator
 registry — MATEX flavours (``r-matex``, ``i-matex``, ``mexp``) and the
@@ -33,6 +40,7 @@ Times accept SPICE suffixes (``10n``, ``50p``).  Output formats: ``.csv``
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 
@@ -52,25 +60,54 @@ from repro.engine import (
     get_integrator,
     make_sink,
 )
+from repro.linalg.lu import FACTORIZATION_CACHE, parse_byte_size
 
 __all__ = ["main", "build_parser"]
 
 
-def _batch_policy(value: str):
-    """argparse type for ``--batch``: off | auto | positive int."""
-    if value in ("off", "auto"):
+def _keyword_or_posint(value: str, keywords: tuple[str, ...], noun: str):
+    """argparse type body: one of ``keywords``, or a positive integer."""
+    if value in keywords:
         return value
     try:
         width = int(value)
     except ValueError:
+        expected = " or ".join(
+            (", ".join(f"'{k}'" for k in keywords), "a positive integer")
+        )
         raise argparse.ArgumentTypeError(
-            f"expected 'off', 'auto' or a positive integer, got {value!r}"
+            f"expected {expected}, got {value!r}"
         ) from None
     if width < 1:
         raise argparse.ArgumentTypeError(
-            f"batch width must be >= 1, got {width}"
+            f"{noun} must be >= 1, got {width}"
         )
     return width
+
+
+def _batch_policy(value: str):
+    """argparse type for ``--batch``: off | auto | positive int."""
+    return _keyword_or_posint(value, ("off", "auto"), "batch width")
+
+
+def _stack_policy(value: str):
+    """argparse type for ``--stack``: auto | positive int."""
+    return _keyword_or_posint(value, ("auto",), "stack size")
+
+
+def _byte_size(value: str) -> int:
+    """argparse type for byte budgets with K/M/G suffixes."""
+    try:
+        size = parse_byte_size(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte count (K/M/G suffixes ok), got {value!r}"
+        ) from None
+    if size < 1:
+        raise argparse.ArgumentTypeError(
+            f"byte budget must be >= 1, got {value!r}"
+        )
+    return size
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("netlist", type=Path)
     info.add_argument("--t-end", default="10n",
                       help="horizon for transition-spot statistics")
+    _add_cache_options(info)
 
     dc = sub.add_parser("dc", help="DC operating point")
     dc.add_argument("netlist", type=Path)
@@ -111,7 +149,66 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulation horizon (SPICE suffixes ok); "
                           "defaults to the deck's .tran stop time")
     _add_sim_options(run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="compile one plan, execute many what-if scenarios",
+        description="Scenario sweep through repro.plan: the deck is "
+                    "streamed and compiled once (decomposition, DC, "
+                    "schedules, factorisation priming), then every "
+                    "scenario executes against the compiled plan in one "
+                    "session — persistent workers, stacked lockstep "
+                    "marches, bit-identical to independent cold runs.",
+    )
+    sweep.add_argument("--netlist", type=Path, required=True,
+                       help="ibmpg-style SPICE deck to stream")
+    sweep.add_argument("--scenarios", required=True,
+                       help="scenario source: a JSON spec file (see "
+                            "repro.plan.load_scenarios_json) or "
+                            "random:<n>[:seed] for n synthetic "
+                            "switching-activity patterns")
+    sweep.add_argument("--t-end", default=None,
+                       help="simulation horizon (SPICE suffixes ok); "
+                            "defaults to the deck's .tran stop time")
+    sweep.add_argument(
+        "--method", default="r-matex",
+        help="MATEX integrator (r-matex | i-matex | mexp)")
+    sweep.add_argument("--gamma", default="1e-10",
+                       help="rational-Krylov shift")
+    sweep.add_argument("--eps", type=float, default=1e-7,
+                       help="relative Arnoldi error budget")
+    sweep.add_argument("--decomposition", default="bump",
+                       choices=["bump", "source", "bump-split"])
+    sweep.add_argument(
+        "--batch", default="auto", type=_batch_policy,
+        help="lockstep policy (default auto: one block march per "
+             "stacked submission)")
+    sweep.add_argument(
+        "--stack", default="auto", type=_stack_policy,
+        help="scenarios per executor submission: auto (default, whole "
+             "sweep in one stacked lockstep march) or an integer to "
+             "bound resident node trajectories")
+    sweep.add_argument(
+        "--processes", type=int, default=0,
+        help="run node tasks on a persistent pool of this many worker "
+             "processes (0 = in-process serial emulation)")
+    sweep.add_argument("--out-dir", type=Path, default=None,
+                       help="write one <scenario>.npz trajectory per "
+                            "scenario into this directory")
+    _add_cache_options(sweep)
     return parser
+
+
+def _add_cache_options(p: argparse.ArgumentParser) -> None:
+    """Factorisation-cache residency flags (shared by all commands)."""
+    p.add_argument(
+        "--factor-cache-entries", type=int, default=None,
+        help="max resident LU factorisations in the process-wide cache "
+             "(default 32, or REPRO_FACTOR_CACHE_ENTRIES)")
+    p.add_argument(
+        "--factor-cache-bytes", type=_byte_size, default=None,
+        help="max bytes of resident LU factors, K/M/G suffixes ok "
+             "(default 256M, or REPRO_FACTOR_CACHE_BYTES)")
 
 
 def _add_sim_options(sim: argparse.ArgumentParser) -> None:
@@ -148,11 +245,23 @@ def _add_sim_options(sim: argparse.ArgumentParser) -> None:
                      help="output file (.csv or .npz)")
     sim.add_argument("--vdd", default=None,
                      help="nominal rail voltage: prints a droop report")
+    _add_cache_options(sim)
 
 
 def _load(path: Path):
     system = assemble(parse_file(path))
     return system
+
+
+def _cache_stats_line() -> str:
+    """Human-readable digest of the process-wide factorisation cache."""
+    cs = FACTORIZATION_CACHE.stats()
+    return (
+        f"factor cache: {cs['hits']} hits, {cs['misses']} misses, "
+        f"{cs['evictions']} evictions; {cs['entries']} entries resident "
+        f"({cs['resident_bytes'] / 2**20:.1f} MiB), limits "
+        f"{cs['max_entries']} entries / {cs['max_bytes'] / 2**20:.0f} MiB"
+    )
 
 
 def _cmd_info(args) -> int:
@@ -165,6 +274,7 @@ def _cmd_info(args) -> int:
     scheduler = MatexScheduler(system)
     groups = scheduler.groups()
     print(f"bump groups (natural node count): {len(groups)}")
+    print(_cache_stats_line())
     return 0
 
 
@@ -334,14 +444,148 @@ def _simulate_system(system, t_end: float, args, plan) -> int:
     return 0
 
 
+def _parse_scenario_source(spec: str):
+    """Validate ``--scenarios`` from argv alone (before the deck load).
+
+    Returns ``("random", n, seed)`` or ``("file", Path)``.
+    """
+    if spec.startswith("random:"):
+        parts = spec.split(":")
+        try:
+            n = int(parts[1])
+            seed = int(parts[2]) if len(parts) > 2 else 2014
+            if len(parts) > 3 or n < 1:
+                raise ValueError
+        except (ValueError, IndexError):
+            raise _UsageError(
+                f"--scenarios random spec must be random:<n>[:seed] "
+                f"with n >= 1, got {spec!r}"
+            ) from None
+        return ("random", n, seed)
+    path = Path(spec)
+    if not path.exists():
+        raise _UsageError(f"scenario spec file {spec!r} does not exist")
+    return ("file", path)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.pdn.scenarios import load_pattern_scenarios
+    from repro.plan import (
+        Session,
+        SimulationPlan,
+        load_scenarios_json,
+    )
+
+    # argv-only validation before the (potentially minutes-long) load.
+    try:
+        cls = get_integrator(args.method)
+        if getattr(cls, "krylov_method", None) is None:
+            raise _UsageError(
+                f"sweep needs a MATEX method (r-matex, i-matex, mexp), "
+                f"got {args.method!r}"
+            )
+        source = _parse_scenario_source(args.scenarios)
+        if args.processes < 0:
+            raise _UsageError(
+                f"--processes must be >= 0, got {args.processes}"
+            )
+    except _UsageError as exc:
+        return _usage_error(str(exc))
+    for value in (args.gamma, args.t_end):
+        if value is not None:
+            parse_value(value)
+
+    res = ingest_file(args.netlist)
+    print(res.stats.summary())
+    if args.t_end is not None:
+        t_end = parse_value(args.t_end)
+    elif res.stats.tran_stop is not None:
+        t_end = res.stats.tran_stop
+        print(f"t_end = {t_end:g} s (from the deck's .tran directive)")
+    else:
+        return _usage_error(
+            f"deck {args.netlist} has no .tran directive; pass --t-end"
+        )
+    system = res.system
+
+    if source[0] == "random":
+        scenarios = load_pattern_scenarios(
+            system, n=source[1], seed=source[2]
+        )
+    else:
+        scenarios = load_scenarios_json(source[1], system)
+    print(f"{len(scenarios)} scenarios "
+          f"({', '.join(s.name for s in scenarios[:4])}"
+          f"{', ...' if len(scenarios) > 4 else ''})")
+
+    opts = SolverOptions(
+        method=cls.krylov_method, gamma=parse_value(args.gamma),
+        eps_rel=args.eps,
+    )
+    plan = SimulationPlan(
+        system, opts, t_end=t_end,
+        decomposition=args.decomposition, batch=args.batch,
+    )
+    compiled = plan.compile(prime=args.processes == 0)
+    print(compiled.summary())
+
+    import time as _time
+    t0 = _time.perf_counter()
+    if args.processes:
+        from repro.dist.executors import MultiprocessExecutor
+
+        executor = MultiprocessExecutor(
+            system, opts, max_workers=args.processes,
+            batch_width=None if args.batch == "off" else args.batch,
+        )
+        with executor, Session(compiled, executor=executor) as session:
+            results = session.sweep(scenarios, stack=args.stack)
+    else:
+        with Session(compiled) as session:
+            results = session.sweep(scenarios, stack=args.stack)
+    wall = _time.perf_counter() - t0
+
+    used_names: set[str] = set()
+    for slot, (scenario, dres) in enumerate(zip(scenarios, results)):
+        rails = dres.result.states[:, : system.netlist.n_nodes]
+        print(f"  {scenario.name}: {dres.n_nodes} nodes, "
+              f"trmatex {dres.tr_matex * 1e3:.1f} ms, "
+              f"min rail {rails.min():.6g} V, "
+              f"LU cache {dres.factor_cache_hits}h/"
+              f"{dres.factor_cache_misses}m")
+        if args.out_dir is not None:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            # Scenario names are arbitrary user strings from the JSON
+            # spec: slugify so a '/' or '..' cannot escape out_dir, and
+            # disambiguate duplicates instead of silently overwriting.
+            slug = re.sub(r"[^\w.-]+", "_", scenario.name) or "scenario"
+            if slug in used_names:
+                slug = f"{slug}.{slot}"
+            used_names.add(slug)
+            _export(dres.result, None, args.out_dir / f"{slug}.npz")
+    print(f"sweep: {len(results)} scenarios in {wall:.2f} s "
+          f"({wall / max(len(results), 1) * 1e3:.0f} ms/scenario)")
+    print(_cache_stats_line())
+    if args.out_dir is not None:
+        print(f"wrote {len(results)} trajectories to {args.out_dir}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "factor_cache_entries", None) is not None or \
+            getattr(args, "factor_cache_bytes", None) is not None:
+        FACTORIZATION_CACHE.configure(
+            max_entries=args.factor_cache_entries,
+            max_bytes=args.factor_cache_bytes,
+        )
     handlers = {
         "info": _cmd_info,
         "dc": _cmd_dc,
         "simulate": _cmd_simulate,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

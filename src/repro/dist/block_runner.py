@@ -112,9 +112,14 @@ class BlockNodeRunner:
     def run(self, tasks: Sequence[SimulationTask]) -> list[NodeResult]:
         """Simulate every task; results in input order.
 
-        Tasks sharing one ``(global_points, t_end)`` grid (the normal
-        scheduler output) march together; mixed batches are grouped by
-        grid and each group marches in lockstep.
+        Tasks sharing one ``(global_points, t_end)`` grid march
+        together; mixed batches are grouped by grid and each group
+        marches in lockstep.  That grouping is also what stacks a
+        *scenario sweep* (:mod:`repro.plan`) into one march: every
+        scenario of a compiled plan reuses the plan's frozen grid, so
+        its RHS columns join the same lockstep rounds as every other
+        scenario's — N scenarios × K groups advance as one N·K-wide
+        block instead of N separate batches.
         """
         tasks = list(tasks)
         if not tasks:
@@ -146,13 +151,15 @@ class BlockNodeRunner:
         the task's column set) and deviation-shifted by the t=0 column.
         """
         overrides = task.group.overrides_dict() or None
-        schedule = build_schedule(
-            self.system,
-            task.t_end,
-            local_inputs=task.group.input_columns,
-            global_points=task.global_points,
-            waveform_overrides=overrides,
-        )
+        schedule = task.schedule
+        if schedule is None:
+            schedule = build_schedule(
+                self.system,
+                task.t_end,
+                local_inputs=task.group.input_columns,
+                global_points=task.global_points,
+                waveform_overrides=overrides,
+            )
         input_system = self.system
         if overrides:
             input_system = self.system.with_waveforms(overrides)

@@ -70,10 +70,35 @@ def _chunks(tasks: list, width: int) -> list[list]:
 
 
 class Executor:
-    """Common interface: run tasks, yield results in task order."""
+    """Common interface: run tasks, yield results in task order.
+
+    Executors are also **context managers** with an explicit lifecycle:
+    :meth:`prepare` builds the long-lived backing state eagerly (worker
+    pools, in-process solver state) and :meth:`close` releases it.
+    Inside a ``with`` block the backing state **persists across**
+    :meth:`run` calls — this is what lets a :class:`repro.plan.Session`
+    stream many scenarios through one set of warmed-up workers.  Outside
+    a ``with`` block (and without an explicit :meth:`prepare`), ``run``
+    keeps its historical per-call lifecycle, so existing single-run
+    callers are unchanged.
+    """
 
     def run(self, tasks: Sequence[SimulationTask]) -> list[NodeResult]:
         raise NotImplementedError
+
+    def prepare(self) -> None:
+        """Build the long-lived backing state now (idempotent)."""
+
+    def close(self) -> None:
+        """Release the backing state built by :meth:`prepare` (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        self.prepare()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def max_factor_seconds(self, results: Iterable[NodeResult]) -> float:
         """The parallel factorisation cost chargeable to ``tr_total``.
@@ -122,6 +147,23 @@ class SerialExecutor(Executor):
         if self._runner is None:
             self._runner = BlockNodeRunner(self.system, self.options)
         return self._runner
+
+    def prepare(self) -> None:
+        """Build the solver state (and prime its factorisations) now.
+
+        This is the in-process half of a compiled plan's "factor once"
+        promise: the worker/runner construction routes through the
+        process-wide :data:`~repro.linalg.lu.FACTORIZATION_CACHE`, so a
+        session pays it once and every scenario after that reuses it.
+        """
+        if self.batch_width is None:
+            self.worker
+        else:
+            self.runner
+
+    def close(self) -> None:
+        self._worker = None
+        self._runner = None
 
     def run(self, tasks: Sequence[SimulationTask]) -> list[NodeResult]:
         tasks = list(tasks)
@@ -203,12 +245,21 @@ class MultiprocessExecutor(Executor):
 
     Notes
     -----
-    The pool is created per :meth:`run` call and torn down afterwards so
-    no processes linger between experiments.  Exceptions raised inside a
-    worker are re-raised here, on the first failing task in submission
-    order; shared-memory segments created by a crashed worker are swept
-    up before the exception propagates (see
-    :func:`repro.dist.shm.cleanup_segments`).
+    Outside a ``with`` block the pool is created per :meth:`run` call
+    and torn down afterwards, so no processes linger between
+    experiments.  As a context manager (or after an explicit
+    :meth:`prepare`) the pool — and with it every worker process's
+    factorisations and per-process :data:`~repro.linalg.lu.FACTORIZATION_CACHE`
+    — **persists across runs**, which is what amortises worker spawn and
+    factorisation cost over a whole scenario sweep.
+
+    Exceptions raised inside a worker are re-raised here, on the first
+    failing task in submission order; shared-memory segments created by
+    a crashed worker are swept up before the exception propagates (see
+    :func:`repro.dist.shm.cleanup_segments`).  A failure inside a
+    *persistent* pool additionally disposes the (possibly broken) pool:
+    the next :meth:`run` transparently spins up fresh workers, so one
+    SIGKILLed worker cannot poison the scenarios that follow.
     """
 
     def __init__(
@@ -237,6 +288,10 @@ class MultiprocessExecutor(Executor):
         self.max_workers = max_workers
         self.batch_width = batch_width
         self.transport = transport
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers: int = 0
+        self._prefix: str | None = None
+        self._persistent = False
 
     def _use_shm(self) -> bool:
         if self.transport == "pickle":
@@ -245,17 +300,73 @@ class MultiprocessExecutor(Executor):
             return True
         return shm_available()
 
+    # -- persistent lifecycle ---------------------------------------------------
+
+    def prepare(self) -> None:
+        """Switch to (and spin up) the persistent-pool lifecycle.
+
+        Worker processes — and their per-process factor caches — then
+        survive across :meth:`run` calls until :meth:`close`.
+        Idempotent; also called internally to respawn the pool after a
+        failure disposed it.
+        """
+        self._persistent = True
+        if self._pool is not None:
+            return
+        self._pool_workers = self.max_workers or os.cpu_count() or 1
+        self._prefix = new_segment_prefix() if self._use_shm() else None
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._pool_workers,
+            initializer=_init_process_worker,
+            initargs=(self.system, self.options, self._prefix),
+        )
+
+    def _dispose_pool(self) -> None:
+        """Shut the pool down and sweep its shm namespace."""
+        pool, prefix = self._pool, self._prefix
+        self._pool = None
+        self._prefix = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if prefix is not None:
+            # The happy path consumed (attached + unlinked) every
+            # segment already; this reclaims whatever a failure left.
+            cleanup_segments(prefix)
+
+    def close(self) -> None:
+        """End the persistent lifecycle and release the pool."""
+        self._persistent = False
+        self._dispose_pool()
+
+    def _map_tasks(
+        self, pool: ProcessPoolExecutor, tasks: list[SimulationTask],
+        n_workers: int,
+    ) -> list[NodeResult]:
+        width = self.batch_width
+        if width == "auto":
+            # One lockstep chunk per worker process.
+            width = -(-len(tasks) // min(n_workers, len(tasks)))
+        width = _resolve_batch_width(width, len(tasks))
+        if width is None:
+            return list(pool.map(_run_in_process, tasks))
+        return [
+            r
+            for chunk_results in pool.map(
+                _run_chunk_in_process, _chunks(tasks, width)
+            )
+            for r in chunk_results
+        ]
+
     def run(self, tasks: Sequence[SimulationTask]) -> list[NodeResult]:
         tasks = list(tasks)
         if not tasks:
             return []
-        n_workers = min(self.max_workers or os.cpu_count() or 1, len(tasks))
-        width = self.batch_width
-        if width == "auto":
-            # One lockstep chunk per worker process.
-            width = -(-len(tasks) // n_workers)
-        width = _resolve_batch_width(width, len(tasks))
+        if self._persistent:
+            # Respawns the pool if a previous failure disposed it.
+            self.prepare()
+            return self._run_persistent(tasks)
 
+        n_workers = min(self.max_workers or os.cpu_count() or 1, len(tasks))
         prefix = new_segment_prefix() if self._use_shm() else None
         try:
             with ProcessPoolExecutor(
@@ -263,18 +374,28 @@ class MultiprocessExecutor(Executor):
                 initializer=_init_process_worker,
                 initargs=(self.system, self.options, prefix),
             ) as pool:
-                if width is None:
-                    raw = list(pool.map(_run_in_process, tasks))
-                else:
-                    raw = [
-                        r
-                        for chunk_results in pool.map(
-                            _run_chunk_in_process, _chunks(tasks, width)
-                        )
-                        for r in chunk_results
-                    ]
+                raw = self._map_tasks(pool, tasks, n_workers)
             return [from_shared(r) for r in raw]
         except BaseException:
             if prefix is not None:
                 cleanup_segments(prefix)
+            raise
+
+    def _run_persistent(self, tasks: list[SimulationTask]) -> list[NodeResult]:
+        """One batch against the long-lived pool, self-healing on failure.
+
+        Any failure — most importantly a worker SIGKILLed mid-task,
+        which breaks the whole ``concurrent.futures`` pool — disposes
+        the pool and sweeps the run's shared-memory prefix, so the dead
+        worker's segments are reclaimed immediately and the **next**
+        :meth:`run` call transparently builds a fresh pool.  The
+        exception still propagates: the caller decides whether the
+        failed batch is retried (a :class:`repro.plan.Session` reports
+        the scenario as failed and moves on).
+        """
+        try:
+            raw = self._map_tasks(self._pool, tasks, self._pool_workers)
+            return [from_shared(r) for r in raw]
+        except BaseException:
+            self._dispose_pool()
             raise

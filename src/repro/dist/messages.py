@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.decomposition import SourceGroup
 from repro.core.results import TransientResult
 from repro.core.stats import SolverStats
+from repro.core.transition import TransitionSchedule
 
 __all__ = ["SimulationTask", "NodeResult", "DistributedResult"]
 
@@ -49,12 +50,21 @@ class SimulationTask:
         The full system's Global Transition Spots.  Every node marches
         through all of them — its own LTS as fresh Krylov generations,
         the rest as basis-reuse snapshots — so all results share one grid.
+    schedule:
+        Optional pre-built marching schedule.  A compiled plan
+        (:mod:`repro.plan`) constructs each group's schedule **once**
+        and stamps it on every scenario's task, so a sweep does not
+        rebuild identical schedules per scenario; when absent, the
+        worker builds it from ``group``/``global_points`` — the two
+        paths are bit-identical by construction (the plan uses the same
+        :func:`~repro.core.transition.build_schedule`).
     """
 
     task_id: int
     group: SourceGroup
     t_end: float
     global_points: tuple[float, ...]
+    schedule: TransitionSchedule | None = None
 
     def __post_init__(self):
         if self.t_end <= 0.0:
@@ -132,6 +142,15 @@ class DistributedResult:
         (the counts are a conservative floor, never an overcount).
     factor_cache_misses:
         Factorisations actually performed (and cached) during the run.
+    factor_cache_evictions:
+        Factorisations the scheduler-side process-wide cache evicted
+        while this run executed.  A persistently non-zero value during a
+        sweep means the residency limits are thrashing — raise them via
+        ``FACTORIZATION_CACHE.configure`` / the ``--factor-cache-*``
+        flags / the ``REPRO_FACTOR_CACHE_*`` environment variables.
+    scenario:
+        Name of the :class:`repro.plan.Scenario` this result answers
+        (``None`` for plain single-run scheduler results).
     """
 
     result: TransientResult
@@ -142,6 +161,8 @@ class DistributedResult:
     superpose_seconds: float = 0.0
     factor_cache_hits: int = 0
     factor_cache_misses: int = 0
+    factor_cache_evictions: int = 0
+    scenario: str | None = None
 
     @property
     def node_transient_seconds(self) -> list[float]:

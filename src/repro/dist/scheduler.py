@@ -18,34 +18,36 @@ The scheduler runs the paper's Sec. 3 framework end-to-end:
 4. **Superpose** ``x(t) = x_dc + Σ_k y_k(t)`` and report the Sec. 3.4
    timing split (``trmatex`` = slowest node, ``tr_total`` adds the
    serial parts).
+
+Since the plan → compile → execute re-layering, steps 1-4 live in
+:mod:`repro.plan`: :meth:`MatexScheduler.run` compiles a one-scenario
+:class:`~repro.plan.SimulationPlan` and executes it in a short-lived
+:class:`~repro.plan.Session`, so the single-run path and the
+scenario-sweep path are the same code — the scheduler remains as the
+stable, paper-shaped front door.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 
 from repro.circuit.mna import MNASystem
-from repro.core.decomposition import (
-    SourceGroup,
-    decompose_by_bump,
-    decompose_by_bump_split,
-    decompose_by_source,
-    merge_to_limit,
-)
+from repro.core.decomposition import SourceGroup
 from repro.core.options import SolverOptions
-from repro.core.superposition import superpose
-from repro.dist.executors import Executor, SerialExecutor
-from repro.dist.messages import DistributedResult, SimulationTask
-from repro.linalg.lu import FACTORIZATION_CACHE
+from repro.dist.executors import Executor
+from repro.dist.messages import DistributedResult
+from repro.plan.plan import DECOMPOSITIONS, SimulationPlan, build_groups
 
 __all__ = ["MatexScheduler", "DECOMPOSITIONS"]
-
-#: Recognised decomposition strategy names.
-DECOMPOSITIONS = ("bump", "source", "bump-split")
 
 
 class MatexScheduler:
     """Master node: decompose, dispatch, superpose.
+
+    Internally this is a façade over :mod:`repro.plan` — each
+    :meth:`run` compiles a one-scenario plan and executes it, which
+    keeps the scheduler bit-for-bit aligned with scenario sweeps that
+    reuse one compiled plan for many input patterns.
 
     Parameters
     ----------
@@ -65,9 +67,10 @@ class MatexScheduler:
         advances every node task in one lockstep
         :class:`~repro.dist.block_runner.BlockNodeRunner` batch
         (bit-for-bit identical results, a fraction of the wall time);
-        an integer fixes the lockstep width.  Ignored when an explicit
-        ``executor`` is passed to :meth:`run` — configure that executor
-        directly instead.
+        an integer fixes the lockstep width.  When an explicit
+        ``executor`` is passed to :meth:`run` the setting cannot apply —
+        a ``UserWarning`` is emitted and the executor's own
+        ``batch_width`` configuration wins.
     """
 
     def __init__(
@@ -105,23 +108,12 @@ class MatexScheduler:
 
         ``"bump-split"`` unrolls periodic pulses over the simulation
         window, so it needs the horizon; the other strategies ignore
-        ``t_end``.
+        ``t_end``.  Delegates to :func:`repro.plan.plan.build_groups`,
+        the single definition shared with compiled plans.
         """
-        if self.decomposition == "bump-split":
-            if t_end is None:
-                raise ValueError(
-                    "the 'bump-split' decomposition unrolls periodic "
-                    "sources over the simulation window; pass the horizon: "
-                    "groups(t_end=...)"
-                )
-            groups = decompose_by_bump_split(self.system, t_end)
-        elif self.decomposition == "bump":
-            groups = decompose_by_bump(self.system)
-        else:
-            groups = decompose_by_source(self.system)
-        if self.max_nodes is not None:
-            groups = merge_to_limit(groups, self.max_nodes)
-        return groups
+        return build_groups(
+            self.system, self.decomposition, self.max_nodes, t_end
+        )
 
     # -- execution ---------------------------------------------------------------
 
@@ -130,6 +122,13 @@ class MatexScheduler:
     ) -> DistributedResult:
         """Simulate ``[0, t_end]`` distributed over the source groups.
 
+        Compiles a one-scenario :class:`~repro.plan.SimulationPlan`
+        (decomposition, shared GTS grid, per-group schedules, DC
+        analysis, factorisation priming) and executes it in a
+        short-lived :class:`~repro.plan.Session` — identical numbers to
+        the pre-plan scheduler, and bit-identical to the same scenario
+        executed inside a long-lived sweep session.
+
         Parameters
         ----------
         t_end:
@@ -137,70 +136,41 @@ class MatexScheduler:
         executor:
             Task backend; defaults to the in-process
             :class:`~repro.dist.executors.SerialExecutor` emulation.
+            When passed explicitly, its own lifecycle and batching
+            configuration are respected (see ``batch`` above).
 
         Returns
         -------
         DistributedResult
             The superposed trajectory plus the Sec. 3.4 timing fields.
         """
-        if t_end <= 0.0:
-            raise ValueError(f"t_end must be positive, got {t_end!r}")
-        groups = self.groups(t_end=t_end)
-        if not groups:
-            raise ValueError(
-                "every input source is constant: there is nothing to "
-                "decompose — the DC operating point already is the full "
-                "solution, no transient nodes are needed"
+        if executor is not None and self.batch != "off":
+            warnings.warn(
+                f"MatexScheduler(batch={self.batch!r}) cannot apply to an "
+                f"explicitly passed executor — configure batch_width on "
+                f"the executor itself; the scheduler's batch setting is "
+                f"being ignored for this run",
+                UserWarning,
+                stacklevel=2,
             )
+        # Imported here, not at module top: repro.plan.session imports
+        # the executors module, which would cycle while this package's
+        # __init__ is still importing the scheduler.
+        from repro.plan.session import Session
 
-        # Serial part (master): DC analysis over *all* inputs.  The G
-        # factorisation is cache-served — all sub-tasks share the same
-        # MNA pencil (Sec. 3.4), so after the first consumer in this
-        # process it costs one substitution pair, not an LU.
-        hits0, misses0 = FACTORIZATION_CACHE.counters()
-        t0 = time.perf_counter()
-        lu_g = FACTORIZATION_CACHE.factor(self.system.G, label="G(dc)")
-        x_dc = lu_g.solve(self.system.bu(0.0))
-        dc_seconds = time.perf_counter() - t0
-        hits1, misses1 = FACTORIZATION_CACHE.counters()
-
-        gts = tuple(self.system.global_transition_spots(t_end))
-        tasks = [
-            SimulationTask(
-                task_id=g.group_id, group=g, t_end=t_end, global_points=gts
-            )
-            for g in groups
-        ]
-
-        if executor is None:
-            batch_width = None if self.batch == "off" else self.batch
-            executor = SerialExecutor(
-                self.system, self.options, batch_width=batch_width
-            )
-        node_results = sorted(executor.run(tasks), key=lambda r: r.task_id)
-
-        # Write-back: superpose deviations onto the operating point.
-        t0 = time.perf_counter()
-        combined = superpose(
-            x_dc,
-            [r.as_transient_result(self.system) for r in node_results],
+        plan = SimulationPlan(
+            system=self.system,
+            options=self.options,
+            t_end=t_end,
+            decomposition=self.decomposition,
+            max_nodes=self.max_nodes,
+            batch=self.batch,
         )
-        superpose_seconds = time.perf_counter() - t0
-
-        node_stats = tuple(r.stats for r in node_results)
-        return DistributedResult(
-            result=combined,
-            n_nodes=len(node_results),
-            node_stats=node_stats,
-            dc_seconds=dc_seconds,
-            factor_seconds=executor.max_factor_seconds(node_results),
-            superpose_seconds=superpose_seconds,
-            factor_cache_hits=(
-                (hits1 - hits0)
-                + sum(s.n_factor_cache_hits for s in node_stats)
-            ),
-            factor_cache_misses=(
-                (misses1 - misses0)
-                + sum(s.n_factor_cache_misses for s in node_stats)
-            ),
-        )
+        # Priming belongs to the process that will factor: skip it when
+        # an explicit (possibly multiprocess) executor owns the workers.
+        compiled = plan.compile(prime=executor is None)
+        session = Session(compiled, executor=executor)
+        try:
+            return session.run()
+        finally:
+            session.close()

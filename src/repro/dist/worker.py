@@ -37,13 +37,15 @@ def run_task(solver: MatexSolver, task: SimulationTask) -> NodeResult:
     fallback, so the two can never diverge.
     """
     overrides = task.group.overrides_dict() or None
-    schedule = build_schedule(
-        solver.system,
-        task.t_end,
-        local_inputs=task.group.input_columns,
-        global_points=task.global_points,
-        waveform_overrides=overrides,
-    )
+    schedule = task.schedule
+    if schedule is None:
+        schedule = build_schedule(
+            solver.system,
+            task.t_end,
+            local_inputs=task.group.input_columns,
+            global_points=task.global_points,
+            waveform_overrides=overrides,
+        )
     res = solver.simulate(
         task.t_end,
         active_inputs=task.group.input_columns,

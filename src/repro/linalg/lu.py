@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -38,8 +40,13 @@ __all__ = [
     "FactorizationError",
     "FactorizationCache",
     "FACTORIZATION_CACHE",
+    "DEFAULT_CACHE_MAX_ENTRIES",
+    "DEFAULT_CACHE_MAX_BYTES",
+    "ENV_CACHE_MAX_ENTRIES",
+    "ENV_CACHE_MAX_BYTES",
     "canonical_shift",
     "matrix_fingerprint",
+    "parse_byte_size",
 ]
 
 
@@ -101,11 +108,31 @@ class SparseLU:
 
         Counts one substitution pair per column, matching the paper's
         accounting (each column is an independent pair).
+
+        Each column is substituted through its **own** single-RHS
+        ``gstrs`` call, so every column is bit-identical to
+        :meth:`solve` of that column — regardless of how many columns
+        the caller batches, and at any offset within the batch.  This
+        is the invariant the lockstep block march (and the scenario
+        sweeps stacked on top of it) is built on.  Handing SuperLU the
+        whole block at once would be ~1.7× faster on the substitution
+        itself but is **not** per-column deterministic: for nrhs > 1
+        SuperLU substitutes supernodes through BLAS kernels whose
+        accumulation order depends on the RHS count and the supernode
+        shapes — bit-stable on some matrices (pg1t's ``G`` up to
+        ~640 columns) and divergent at nrhs = 8 on others (pg4t's
+        pencil).  ``tests/test_lu.py`` pins the per-column contract.
         """
         rhs = np.asarray(rhs, dtype=float)
-        n_cols = 1 if rhs.ndim == 1 else rhs.shape[1]
+        if rhs.ndim == 1:
+            self.n_solves += 1
+            return self._lu.solve(rhs)
+        n_cols = rhs.shape[1]
         self.n_solves += n_cols
-        return self._lu.solve(rhs)
+        out = np.empty_like(rhs, order="F")
+        for i in range(n_cols):
+            out[:, i] = self._lu.solve(rhs[:, i])
+        return out
 
     def reset_counters(self) -> None:
         """Zero the solve counter (factor time is kept)."""
@@ -169,6 +196,62 @@ def matrix_fingerprint(matrix: sp.spmatrix) -> str:
     return h.hexdigest()
 
 
+#: Built-in residency limits of the process-wide cache.
+DEFAULT_CACHE_MAX_ENTRIES = 32
+DEFAULT_CACHE_MAX_BYTES = 256 << 20
+
+#: Environment variables overriding the limits at process start (the
+#: CLI's ``--factor-cache-entries`` / ``--factor-cache-bytes`` flags
+#: reconfigure the live cache instead).
+ENV_CACHE_MAX_ENTRIES = "REPRO_FACTOR_CACHE_ENTRIES"
+ENV_CACHE_MAX_BYTES = "REPRO_FACTOR_CACHE_BYTES"
+
+_BYTE_SUFFIXES = {
+    "k": 1 << 10, "kb": 1 << 10, "kib": 1 << 10,
+    "m": 1 << 20, "mb": 1 << 20, "mib": 1 << 20,
+    "g": 1 << 30, "gb": 1 << 30, "gib": 1 << 30,
+}
+
+
+def parse_byte_size(text: str | int) -> int:
+    """Parse a byte count with an optional K/M/G (or KiB/MiB/GiB) suffix.
+
+    >>> parse_byte_size("512M")
+    536870912
+    """
+    if isinstance(text, int):
+        return text
+    s = str(text).strip().lower()
+    for suffix, mult in sorted(_BYTE_SUFFIXES.items(), key=lambda kv: -len(kv[0])):
+        if s.endswith(suffix):
+            return int(float(s[: -len(suffix)]) * mult)
+    return int(s)
+
+
+def _limit_from_env(name: str, default: int, parse) -> int:
+    """Read one cache limit from the environment, falling back loudly.
+
+    A malformed value must not make ``import repro`` raise, but it must
+    not be silently ignored either — sweeps sized via these variables
+    would otherwise thrash the default-sized cache invisibly.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = parse(raw)
+        if value < 1:
+            raise ValueError("must be >= 1")
+        return value
+    except (ValueError, TypeError):
+        warnings.warn(
+            f"ignoring invalid {name}={raw!r}; using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+
+
 class FactorizationCache:
     """Process-wide LRU cache of :class:`SparseLU` factorisations.
 
@@ -194,9 +277,23 @@ class FactorizationCache:
     many large pencils therefore evict old factors instead of pinning
     multi-GB of LU data for the life of the process; call :meth:`clear`
     to release everything eagerly.
+
+    The process-wide :data:`FACTORIZATION_CACHE` limits default to
+    :data:`DEFAULT_CACHE_MAX_ENTRIES` / :data:`DEFAULT_CACHE_MAX_BYTES`
+    and can be overridden per process through the
+    :data:`ENV_CACHE_MAX_ENTRIES` / :data:`ENV_CACHE_MAX_BYTES`
+    environment variables (byte sizes accept K/M/G suffixes) or at run
+    time via :meth:`configure` (the CLI's ``--factor-cache-*`` flags).
+    The ``evictions`` counter — surfaced by ``repro info`` and
+    :class:`~repro.dist.messages.DistributedResult` — tells when a sweep
+    over many pencils is silently thrashing the residency limits.
     """
 
-    def __init__(self, max_entries: int = 32, max_bytes: int = 256 << 20):
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_CACHE_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_CACHE_MAX_BYTES,
+    ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if max_bytes < 1:
@@ -208,6 +305,7 @@ class FactorizationCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _entry_bytes(lu: "SparseLU") -> int:
@@ -251,17 +349,58 @@ class FactorizationCache:
         with self._lock:
             self._entries[key] = lu
             self._bytes[key] = self._entry_bytes(lu)
-            # Evict LRU until both bounds hold.  A single pencil larger
-            # than the whole byte budget ends up passing through
-            # uncached (it is evicted too) rather than pinning
-            # arbitrary memory for the life of the process.
-            while self._entries and (
-                len(self._entries) > self.max_entries
-                or sum(self._bytes.values()) > self.max_bytes
-            ):
-                evicted, _ = self._entries.popitem(last=False)
-                self._bytes.pop(evicted, None)
+            self._evict_to_limits_locked()
         return lu
+
+    def _evict_to_limits_locked(self) -> None:
+        """Evict LRU entries until both residency bounds hold.
+
+        A single pencil larger than the whole byte budget ends up
+        passing through uncached (it is evicted too) rather than
+        pinning arbitrary memory for the life of the process.  Caller
+        holds ``self._lock``.
+        """
+        while self._entries and (
+            len(self._entries) > self.max_entries
+            or sum(self._bytes.values()) > self.max_bytes
+        ):
+            evicted, _ = self._entries.popitem(last=False)
+            self._bytes.pop(evicted, None)
+            self.evictions += 1
+
+    def configure(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        """Re-bound the cache in place (evicting immediately if needed).
+
+        ``None`` keeps the current value.  Counters are preserved —
+        evictions triggered by a shrink are counted like any other.
+        """
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        with self._lock:
+            if max_entries is not None:
+                self.max_entries = max_entries
+            if max_bytes is not None:
+                self.max_bytes = max_bytes
+            self._evict_to_limits_locked()
+
+    def stats(self) -> dict[str, int]:
+        """One consistent snapshot of counters, residency and limits."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "resident_bytes": sum(self._bytes.values()),
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }
 
     def counters(self) -> tuple[int, int]:
         """Snapshot of ``(hits, misses)`` for delta-based attribution."""
@@ -279,13 +418,22 @@ class FactorizationCache:
             return len(self._entries)
 
     def clear(self) -> None:
-        """Drop all cached factors and zero the hit/miss counters."""
+        """Drop all cached factors and zero the hit/miss/eviction counters."""
         with self._lock:
             self._entries.clear()
             self._bytes.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
 #: The process-wide cache used by solvers, workers and the scheduler.
-FACTORIZATION_CACHE = FactorizationCache()
+#: Limits come from the environment when set (see the class docstring).
+FACTORIZATION_CACHE = FactorizationCache(
+    max_entries=_limit_from_env(
+        ENV_CACHE_MAX_ENTRIES, DEFAULT_CACHE_MAX_ENTRIES, int
+    ),
+    max_bytes=_limit_from_env(
+        ENV_CACHE_MAX_BYTES, DEFAULT_CACHE_MAX_BYTES, parse_byte_size
+    ),
+)

@@ -1,0 +1,64 @@
+"""Compiled simulation plans: plan → compile → execute.
+
+MATEX's Krylov operators depend only on the pencil ``(C, G, γ)``, never
+on the inputs ``u(t)`` — so "one grid, hundreds of what-if input
+patterns" (the realistic PDN workload) should pay decomposition, DC
+analysis, schedule construction, factorisation priming and worker-pool
+spawn **once**, not once per run.  This package makes that a first-class
+object:
+
+* :class:`~repro.plan.plan.SimulationPlan` freezes the reusable half of
+  a run (system, options, horizon, decomposition, batching policy);
+* :meth:`~repro.plan.plan.SimulationPlan.compile` performs it exactly
+  once and yields a picklable :class:`~repro.plan.plan.CompiledPlan`;
+* :class:`~repro.plan.session.Session` executes a stream of
+  :class:`~repro.plan.scenario.Scenario` input patterns against the
+  compiled plan over a persistent executor, stacking aligned scenarios
+  into one lockstep block march — bit-identical to independent cold
+  runs, several times faster.
+
+The single-run :class:`~repro.dist.scheduler.MatexScheduler` is a thin
+façade over this layer (compile a one-scenario plan, execute it), so
+both paths are the same code.
+
+>>> from repro.plan import SimulationPlan, Scenario, Session
+>>> compiled = SimulationPlan(system, t_end=1e-8).compile()
+>>> with Session(compiled) as session:
+...     results = session.sweep(
+...         [Scenario(f"p{i}", scales={0: 1.0 + 0.1 * i}) for i in range(8)]
+...     )
+"""
+
+from repro.plan.plan import (
+    DECOMPOSITIONS,
+    CompiledPlan,
+    PlanError,
+    SimulationPlan,
+    build_groups,
+    prime_factorizations,
+)
+from repro.plan.scenario import Scenario, load_scenarios_json
+
+__all__ = [
+    "CompiledPlan",
+    "DECOMPOSITIONS",
+    "PlanError",
+    "Scenario",
+    "Session",
+    "SimulationPlan",
+    "build_groups",
+    "load_scenarios_json",
+    "prime_factorizations",
+]
+
+
+def __getattr__(name: str):
+    # Session pulls in repro.dist (executors/messages); importing it
+    # eagerly here would cycle while repro.dist's own __init__ imports
+    # the scheduler (which imports repro.plan.plan).  PEP 562 keeps
+    # ``from repro.plan import Session`` working without the cycle.
+    if name == "Session":
+        from repro.plan.session import Session
+
+        return Session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

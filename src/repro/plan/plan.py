@@ -1,0 +1,352 @@
+"""Simulation plans: the freeze/compile half of plan → compile → execute.
+
+MATEX's core economics (paper Sec. 3.4) are "factor once, reuse
+forever": the Krylov operators depend only on the pencil ``(C, G, γ)``,
+never on the inputs ``u(t)``.  Before this layer existed, every entry
+path (scheduler, CLI, experiments runner) re-did source decomposition,
+DC analysis, schedule construction and factorisation priming per run —
+per *scenario* in a what-if sweep.  A :class:`SimulationPlan` freezes
+the reusable half of a run, and :meth:`SimulationPlan.compile` performs
+it exactly once:
+
+* **group construction** — the input-source decomposition (bump /
+  source / bump-split, optionally merged to ``max_nodes``),
+* the shared **global-transition-spot grid** and one per-group marching
+  :class:`~repro.core.transition.TransitionSchedule`,
+* **DC analysis** ``G x_dc = B u(0)`` (priming the ``G`` factors in the
+  process-wide :data:`~repro.linalg.lu.FACTORIZATION_CACHE`),
+* **γ-factorisation priming** — the method pencil (``C + γG`` for
+  R-MATEX) is factored into the cache so no later consumer pays it.
+
+The result is a **picklable** :class:`CompiledPlan`: factorisations
+live in the per-process cache (they cannot travel through a pipe), so a
+plan shipped to another process re-primes lazily on first use while
+every frozen decision — groups, grid, schedules, DC state — transfers
+bit-exactly.  Execution against scenarios is the job of
+:class:`~repro.plan.session.Session`.
+
+This module deliberately imports nothing from :mod:`repro.dist` — the
+scheduler is built *on top of* plans, not the other way around.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.mna import MNASystem
+from repro.core.decomposition import (
+    SourceGroup,
+    decompose_by_bump,
+    decompose_by_bump_split,
+    decompose_by_source,
+    merge_to_limit,
+)
+from repro.core.options import SolverOptions
+from repro.core.transition import TransitionSchedule, build_schedule
+from repro.linalg.krylov import make_krylov_operator
+from repro.linalg.lu import FACTORIZATION_CACHE, matrix_fingerprint
+
+__all__ = [
+    "DECOMPOSITIONS",
+    "PlanError",
+    "SimulationPlan",
+    "CompiledPlan",
+    "build_groups",
+    "prime_factorizations",
+]
+
+#: Recognised decomposition strategy names.
+DECOMPOSITIONS = ("bump", "source", "bump-split")
+
+
+class PlanError(ValueError):
+    """A scenario (or plan configuration) violates a compiled contract."""
+
+
+def build_groups(
+    system: MNASystem,
+    decomposition: str,
+    max_nodes: int | None = None,
+    t_end: float | None = None,
+) -> list[SourceGroup]:
+    """The source groups (= computing nodes) of one decomposition.
+
+    Single definition shared by :class:`SimulationPlan` and
+    :class:`~repro.dist.scheduler.MatexScheduler`.  ``"bump-split"``
+    unrolls periodic pulses over the simulation window, so it needs the
+    horizon; the other strategies ignore ``t_end``.
+    """
+    if decomposition not in DECOMPOSITIONS:
+        raise ValueError(
+            f"unknown decomposition {decomposition!r}; "
+            f"choose from {sorted(DECOMPOSITIONS)}"
+        )
+    if decomposition == "bump-split":
+        if t_end is None:
+            raise ValueError(
+                "the 'bump-split' decomposition unrolls periodic "
+                "sources over the simulation window; pass the horizon: "
+                "groups(t_end=...)"
+            )
+        groups = decompose_by_bump_split(system, t_end)
+    elif decomposition == "bump":
+        groups = decompose_by_bump(system)
+    else:
+        groups = decompose_by_source(system)
+    if max_nodes is not None:
+        groups = merge_to_limit(groups, max_nodes)
+    return groups
+
+
+def prime_factorizations(system: MNASystem, options: SolverOptions) -> None:
+    """Factor the method pencil into the process-wide cache.
+
+    Performs exactly the cache-keyed factor call a node solver's
+    construction performs (``C + γG`` for rational, ``G`` for inverted,
+    ``C`` for standard) and discards the operator handle — the factors
+    stay resident in :data:`~repro.linalg.lu.FACTORIZATION_CACHE`, so
+    every later :class:`~repro.dist.worker.NodeWorker` /
+    :class:`~repro.dist.block_runner.BlockNodeRunner` built in this
+    process gets a hit instead of a factorisation.
+    """
+    make_krylov_operator(
+        options.method, system.C, system.G, gamma=options.gamma
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class SimulationPlan:
+    """The frozen, reusable half of a distributed MATEX run.
+
+    A plan binds everything that does **not** change across a scenario
+    sweep: the system (topology + base waveforms), the solver options
+    (including γ, which keys the pencil factorisation), the
+    decomposition policy, the horizon and the batching policy.  What
+    *does* change per run — the input pattern — is bound later, one
+    :class:`~repro.plan.scenario.Scenario` at a time.
+
+    Attributes
+    ----------
+    system:
+        Assembled MNA system (the base waveforms define the frozen
+        transition grid).
+    options:
+        Solver options; defaults to R-MATEX settings.
+    t_end:
+        Simulation horizon (> 0).
+    decomposition:
+        ``"bump"`` (default), ``"source"`` or ``"bump-split"``.
+    max_nodes:
+        Optional round-robin merge cap on the group count.
+    batch:
+        Default lockstep policy for sessions over this plan: ``"auto"``
+        (default — sweeps want the block-batched march), ``"off"``, or
+        a fixed width.
+    """
+
+    system: MNASystem
+    options: SolverOptions | None = None
+    t_end: float = 0.0
+    decomposition: str = "bump"
+    max_nodes: int | None = None
+    batch: object = "auto"
+
+    def __post_init__(self):
+        if self.options is None:
+            object.__setattr__(self, "options", SolverOptions())
+        if self.t_end <= 0.0:
+            raise ValueError(
+                f"t_end must be positive, got {self.t_end!r}"
+            )
+        if self.decomposition not in DECOMPOSITIONS:
+            raise ValueError(
+                f"unknown decomposition {self.decomposition!r}; "
+                f"choose from {sorted(DECOMPOSITIONS)}"
+            )
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError(
+                f"max_nodes must be >= 1, got {self.max_nodes}"
+            )
+        if self.batch not in ("off", "auto") and not (
+            isinstance(self.batch, int)
+            and not isinstance(self.batch, bool)
+            and self.batch >= 1
+        ):
+            raise ValueError(
+                f"batch must be 'off', 'auto' or a positive width, "
+                f"got {self.batch!r}"
+            )
+
+    def groups(self) -> list[SourceGroup]:
+        """The plan's source groups (see :func:`build_groups`)."""
+        return build_groups(
+            self.system, self.decomposition, self.max_nodes, self.t_end
+        )
+
+    def compile(self, prime: bool = True) -> "CompiledPlan":
+        """Perform the reusable work exactly once; freeze the outcome.
+
+        Parameters
+        ----------
+        prime:
+            Also factor the method pencil into this process's
+            :data:`~repro.linalg.lu.FACTORIZATION_CACHE`.  Leave on for
+            in-process execution; pass ``False`` when the plan will run
+            on a :class:`~repro.dist.executors.MultiprocessExecutor`,
+            whose worker *processes* must (and do) prime their own
+            caches on first use.
+
+        Returns
+        -------
+        CompiledPlan
+            Picklable snapshot: groups, shared GTS grid, one marching
+            schedule per group, the DC operating point, and the
+            compile-time cost/cache accounting.
+        """
+        t0 = time.perf_counter()
+        stats0 = FACTORIZATION_CACHE.stats()
+
+        groups = self.groups()
+        if not groups:
+            raise ValueError(
+                "every input source is constant: there is nothing to "
+                "decompose — the DC operating point already is the full "
+                "solution, no transient nodes are needed"
+            )
+        gts = tuple(self.system.global_transition_spots(self.t_end))
+        schedules = tuple(
+            build_schedule(
+                self.system,
+                self.t_end,
+                local_inputs=g.input_columns,
+                global_points=gts,
+                waveform_overrides=g.overrides_dict() or None,
+            )
+            for g in groups
+        )
+
+        # Serial part (master): DC analysis over *all* inputs.  The G
+        # factorisation is cache-served — all sub-tasks share the same
+        # MNA pencil (Sec. 3.4), so after the first consumer in this
+        # process it costs one substitution pair, not an LU.
+        t_dc = time.perf_counter()
+        lu_g = FACTORIZATION_CACHE.factor(self.system.G, label="G(dc)")
+        x_dc = lu_g.solve(self.system.bu(0.0))
+        dc_seconds = time.perf_counter() - t_dc
+
+        if prime:
+            prime_factorizations(self.system, self.options)
+
+        stats1 = FACTORIZATION_CACHE.stats()
+        return CompiledPlan(
+            system=self.system,
+            options=self.options,
+            t_end=self.t_end,
+            decomposition=self.decomposition,
+            max_nodes=self.max_nodes,
+            batch=self.batch,
+            groups=tuple(groups),
+            global_points=gts,
+            schedules=schedules,
+            x_dc=x_dc,
+            dc_seconds=dc_seconds,
+            compile_seconds=time.perf_counter() - t0,
+            primed=prime,
+            cache_hits=stats1["hits"] - stats0["hits"],
+            cache_misses=stats1["misses"] - stats0["misses"],
+            cache_evictions=stats1["evictions"] - stats0["evictions"],
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledPlan:
+    """The frozen outcome of :meth:`SimulationPlan.compile`.
+
+    Every field is picklable: a compiled plan can be shipped to another
+    process (or cached on disk) and executed there with bit-identical
+    results — factorisations are *not* carried (SuperLU objects cannot
+    travel through a pipe) but re-prime lazily through the receiving
+    process's :data:`~repro.linalg.lu.FACTORIZATION_CACHE`, and every
+    frozen decision (groups, grid, schedules, DC state) transfers
+    exactly.
+
+    Attributes
+    ----------
+    groups:
+        The frozen source decomposition, one entry per computing node.
+    global_points:
+        The shared global-transition-spot grid all scenarios march on.
+    schedules:
+        One pre-built :class:`~repro.core.transition.TransitionSchedule`
+        per group (parallel to ``groups``) — stamped onto every
+        scenario's :class:`~repro.dist.messages.SimulationTask` so a
+        sweep never rebuilds them.
+    x_dc:
+        DC operating point of the *base* waveforms; scenarios that
+        change ``u(0)`` get their own (cache-served) DC solve at
+        execution time.
+    dc_seconds, compile_seconds:
+        Wall time of the DC analysis / the whole compile.
+    primed:
+        Whether the method pencil was factored at compile time.
+    cache_hits, cache_misses, cache_evictions:
+        Process-wide factor-cache traffic attributable to the compile;
+        a session reports these on its first result, mirroring how
+        workers attribute construction traffic.
+    """
+
+    system: MNASystem
+    options: SolverOptions
+    t_end: float
+    decomposition: str
+    max_nodes: int | None
+    batch: object
+    groups: tuple[SourceGroup, ...]
+    global_points: tuple[float, ...]
+    schedules: tuple[TransitionSchedule, ...]
+    x_dc: np.ndarray
+    dc_seconds: float
+    compile_seconds: float
+    primed: bool = True
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    _fingerprint: str | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of computing nodes (= source groups) per scenario."""
+        return len(self.groups)
+
+    def system_fingerprint(self) -> str:
+        """Content digest of the frozen pencil inputs ``(C, G, B, γ)``.
+
+        Two compiled plans with equal fingerprints share every
+        factorisation in the process-wide cache; the digest is cached
+        on first use (hashing is O(nnz)).
+        """
+        if self._fingerprint is None:
+            digest = "-".join((
+                matrix_fingerprint(self.system.C)[:16],
+                matrix_fingerprint(self.system.G)[:16],
+                matrix_fingerprint(self.system.B)[:16],
+                f"{self.options.gamma:.12e}",
+            ))
+            object.__setattr__(self, "_fingerprint", digest)
+        return self._fingerprint
+
+    def summary(self) -> str:
+        """One-line human digest (used by the sweep CLI)."""
+        return (
+            f"compiled plan: {self.n_nodes} nodes "
+            f"[{self.decomposition}], {len(self.global_points)} GTS "
+            f"points, t_end={self.t_end:g}s, "
+            f"compile {self.compile_seconds * 1e3:.1f} ms "
+            f"(dc {self.dc_seconds * 1e3:.1f} ms, "
+            f"cache {self.cache_hits}h/{self.cache_misses}m)"
+        )

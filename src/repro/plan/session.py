@@ -1,0 +1,365 @@
+"""Sessions: the execute half of plan → compile → execute.
+
+A :class:`Session` streams :class:`~repro.plan.scenario.Scenario`
+objects through one :class:`~repro.plan.plan.CompiledPlan` against a
+**persistent** executor:
+
+* the executor's backing state — in-process solver factorisations, or
+  a :class:`~repro.dist.executors.MultiprocessExecutor` worker pool
+  with its per-process factor caches — is built once and survives
+  across scenarios (context-manager lifecycle);
+* scenarios bound to the plan's frozen grid are **stacked**: their
+  tasks are submitted in one batch, so the block-batched lockstep march
+  advances N scenarios × K groups as one wide block instead of N
+  separate runs;
+* every scenario's superposed trajectory is **bit-for-bit identical**
+  to an independent cold :class:`~repro.dist.scheduler.MatexScheduler`
+  run on the scenario-bound system (enforced by ``tests/test_plan.py``)
+  — the sweep is purely an amortisation, never an approximation.
+
+A worker death mid-sweep does not poison the session: the persistent
+executor disposes the broken pool (sweeping the dead worker's
+shared-memory segments) and the next scenario transparently runs on
+fresh workers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.circuit.mna import MNASystem
+from repro.core.superposition import superpose
+from repro.dist.executors import Executor, SerialExecutor
+from repro.dist.messages import DistributedResult, SimulationTask
+from repro.linalg.lu import FACTORIZATION_CACHE
+from repro.plan.plan import CompiledPlan, PlanError
+from repro.plan.scenario import Scenario
+
+__all__ = ["Session"]
+
+
+#: Target lockstep width (node tasks per submission) for ``stack="auto"``.
+#: Stacking pays off by amortising per-round Python overhead, which is
+#: saturated by a few hundred lockstep columns; beyond that the
+#: per-round working set (every stacked task's dense trajectory block)
+#: only grows, and the march slows down on memory traffic.  So "auto"
+#: stacks narrow plans deeply (a 6-node plan runs ~40 scenarios per
+#: march) and wide plans shallowly (a 100-node plan runs 2 per march),
+#: instead of blindly submitting the whole sweep at once.
+AUTO_STACK_TASK_TARGET = 256
+
+
+def _resolve_stack(stack, n_scenarios: int, n_nodes: int) -> int:
+    """Normalise a stacking policy to a chunk size in scenarios."""
+    if stack == "auto":
+        per_chunk = max(1, AUTO_STACK_TASK_TARGET // max(n_nodes, 1))
+        return min(per_chunk, max(n_scenarios, 1))
+    width = int(stack)
+    if width < 1:
+        raise ValueError(f"stack must be 'auto' or >= 1, got {stack!r}")
+    return width
+
+
+class Session:
+    """Executes a stream of scenarios against one compiled plan.
+
+    Parameters
+    ----------
+    compiled:
+        The :class:`~repro.plan.plan.CompiledPlan` to execute.
+    executor:
+        Task backend.  ``None`` (default) builds an in-process
+        :class:`~repro.dist.executors.SerialExecutor` configured from
+        the plan's ``batch`` policy; the session owns it (prepares it
+        lazily, closes it on :meth:`close`).  An explicitly passed
+        executor is used as-is — its lifecycle belongs to the caller
+        (enter it as a context manager to persist worker pools across
+        scenarios).
+
+    Examples
+    --------
+    >>> compiled = SimulationPlan(system, opts, t_end=1e-8).compile()
+    >>> with Session(compiled) as session:
+    ...     results = session.sweep(scenarios)
+    """
+
+    def __init__(
+        self, compiled: CompiledPlan, executor: Executor | None = None
+    ):
+        self.compiled = compiled
+        self._owns_executor = executor is None
+        if executor is None:
+            batch = compiled.batch
+            executor = SerialExecutor(
+                compiled.system,
+                compiled.options,
+                batch_width=None if batch == "off" else batch,
+            )
+        self.executor = executor
+        self._prepared = False
+        # Base-waveform transition spots, computed lazily once per
+        # column: scenario validation compares every rebound column's
+        # spots against these, and a wide sweep would otherwise rescan
+        # the same unchanged base waveforms once per scenario.
+        self._base_spots: dict[int, list[float]] = {}
+        # Compile-time cost is reported once, on the session's first
+        # result — mirroring how workers attribute construction traffic.
+        self._pending_hits = compiled.cache_hits
+        self._pending_misses = compiled.cache_misses
+        self._pending_evictions = compiled.cache_evictions
+        self.n_scenarios_run = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Release session-owned executor state (idempotent)."""
+        if self._owns_executor:
+            self.executor.close()
+        self._prepared = False
+
+    def _ensure_prepared(self) -> None:
+        if self._owns_executor and not self._prepared:
+            self.executor.prepare()
+        self._prepared = True
+
+    # -- scenario validation ---------------------------------------------------
+
+    def _validate(self, scenario: Scenario) -> MNASystem | None:
+        """Bind a scenario, enforcing the compiled-grid contract.
+
+        Returns the bound system, or ``None`` for baseline scenarios
+        (which reuse the plan's system and pre-computed DC state).
+        """
+        if scenario.is_baseline:
+            return None
+        compiled = self.compiled
+        if any(g.waveform_overrides for g in compiled.groups):
+            raise PlanError(
+                "scenarios cannot rebind sources under the 'bump-split' "
+                "decomposition: its groups carry single-bump waveform "
+                "overrides derived from the base waveforms; compile a "
+                "separate plan on the scenario-bound system instead"
+            )
+        bound = scenario.bind(compiled.system)
+        base = compiled.system.waveforms
+        for col in scenario.changed_columns:
+            old, new = base[col], bound.waveforms[col]
+            old_spots = self._base_spots.get(col)
+            if old_spots is None:
+                old_spots = old.transition_spots(compiled.t_end)
+                self._base_spots[col] = old_spots
+            if new.is_constant() != old.is_constant() or (
+                new.transition_spots(compiled.t_end) != old_spots
+            ):
+                raise PlanError(
+                    f"scenario {scenario.name!r} changes the transition "
+                    f"grid of input column {col}: a compiled plan "
+                    f"freezes decomposition and schedules on the base "
+                    f"system's transition spots, so scenario waveforms "
+                    f"must preserve each column's spots and constancy "
+                    f"(amplitude scalings always do) — compile a new "
+                    f"plan for structurally different inputs"
+                )
+        return bound
+
+    # -- task construction -------------------------------------------------------
+
+    def _scenario_tasks(
+        self, slot: int, bound: MNASystem | None
+    ) -> list[SimulationTask]:
+        """Tasks of one scenario, with plan-frozen schedules attached.
+
+        ``slot`` offsets the task ids so a stacked submission stays
+        unique across scenarios (shared-memory segment names key on the
+        task id).  Scenario waveforms ride as per-group overrides — the
+        exact mechanism split-bump groups already use — so the executor
+        protocol is unchanged.
+        """
+        compiled = self.compiled
+        base = slot * compiled.n_nodes
+        tasks: list[SimulationTask] = []
+        for gi, (g, sched) in enumerate(
+            zip(compiled.groups, compiled.schedules)
+        ):
+            group = g
+            if bound is not None:
+                merged = g.overrides_dict()
+                for col in g.input_columns:
+                    w = bound.waveforms[col]
+                    if w is not compiled.system.waveforms[col]:
+                        merged[col] = w
+                if merged:
+                    group = replace(
+                        g,
+                        waveform_overrides=tuple(
+                            sorted(merged.items(), key=lambda cw: cw[0])
+                        ),
+                    )
+            tasks.append(
+                SimulationTask(
+                    task_id=base + gi,
+                    group=group,
+                    t_end=compiled.t_end,
+                    global_points=compiled.global_points,
+                    schedule=sched,
+                )
+            )
+        return tasks
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, scenario: Scenario | None = None) -> DistributedResult:
+        """Execute one scenario (``None`` = the plan's base waveforms)."""
+        return self.sweep([scenario])[0]
+
+    def sweep(
+        self,
+        scenarios: Iterable[Scenario | None],
+        stack="auto",
+    ) -> list[DistributedResult]:
+        """Execute a stream of scenarios, results in input order.
+
+        Parameters
+        ----------
+        scenarios:
+            :class:`~repro.plan.scenario.Scenario` objects (``None``
+            entries mean the baseline pattern).  All are validated
+            against the compiled grid *before* anything executes, so a
+            structurally incompatible scenario fails fast instead of
+            mid-sweep.
+        stack:
+            How many scenarios to submit to the executor per batch.
+            ``"auto"`` (default) targets
+            :data:`AUTO_STACK_TASK_TARGET` lockstep tasks per
+            submission — deep stacking for narrow plans, shallow for
+            wide ones; an explicit integer overrides it (each stacked
+            scenario holds ``n_nodes`` dense ``(K × dim)`` deviation
+            blocks until superposition).
+
+        Returns
+        -------
+        list[DistributedResult]
+            One result per scenario, each bit-identical to an
+            independent cold run of the scenario-bound system.
+        """
+        scenario_list = [
+            s if s is not None else Scenario() for s in scenarios
+        ]
+        bound_list = [self._validate(s) for s in scenario_list]
+        chunk = _resolve_stack(
+            stack, len(scenario_list), self.compiled.n_nodes
+        )
+        self._ensure_prepared()
+
+        results: list[DistributedResult] = []
+        for start in range(0, len(scenario_list), chunk):
+            results.extend(
+                self._run_chunk(
+                    scenario_list[start:start + chunk],
+                    bound_list[start:start + chunk],
+                )
+            )
+        return results
+
+    def _run_chunk(
+        self,
+        scenarios: Sequence[Scenario],
+        bound_systems: Sequence[MNASystem | None],
+    ) -> list[DistributedResult]:
+        compiled = self.compiled
+        n = compiled.n_nodes
+
+        # Per-scenario DC analysis: cache-served factors, one
+        # substitution pair per scenario whose u(0) differs.
+        dc_states: list[np.ndarray] = []
+        dc_seconds: list[float] = []
+        dc_hits: list[int] = []
+        dc_misses: list[int] = []
+        for bound in bound_systems:
+            if bound is None:
+                dc_states.append(compiled.x_dc)
+                dc_seconds.append(compiled.dc_seconds)
+                dc_hits.append(0)
+                dc_misses.append(0)
+                continue
+            h0, m0 = FACTORIZATION_CACHE.counters()
+            t0 = time.perf_counter()
+            lu_g = FACTORIZATION_CACHE.factor(bound.G, label="G(dc)")
+            dc_states.append(lu_g.solve(bound.bu(0.0)))
+            dc_seconds.append(time.perf_counter() - t0)
+            h1, m1 = FACTORIZATION_CACHE.counters()
+            dc_hits.append(h1 - h0)
+            dc_misses.append(m1 - m0)
+
+        tasks = [
+            task
+            for slot, bound in enumerate(bound_systems)
+            for task in self._scenario_tasks(slot, bound)
+        ]
+        ev0 = FACTORIZATION_CACHE.stats()["evictions"]
+        node_results = sorted(
+            self.executor.run(tasks), key=lambda r: r.task_id
+        )
+        chunk_evictions = FACTORIZATION_CACHE.stats()["evictions"] - ev0
+
+        results: list[DistributedResult] = []
+        for slot, (scenario, bound) in enumerate(
+            zip(scenarios, bound_systems)
+        ):
+            share = node_results[slot * n:(slot + 1) * n]
+            system = bound if bound is not None else compiled.system
+            t0 = time.perf_counter()
+            combined = superpose(
+                dc_states[slot],
+                [r.as_transient_result(system) for r in share],
+            )
+            superpose_seconds = time.perf_counter() - t0
+
+            node_stats = tuple(r.stats for r in share)
+            hits = dc_hits[slot] + sum(
+                s.n_factor_cache_hits for s in node_stats
+            )
+            misses = dc_misses[slot] + sum(
+                s.n_factor_cache_misses for s in node_stats
+            )
+            # Executor-window evictions are not separable per scenario
+            # inside a stacked submission; charge them (and pending
+            # compile-time traffic) to the chunk's first result.
+            evictions = chunk_evictions if slot == 0 else 0
+            if self.n_scenarios_run == 0 and slot == 0:
+                hits += self._pending_hits
+                misses += self._pending_misses
+                evictions += self._pending_evictions
+                self._pending_hits = 0
+                self._pending_misses = 0
+                self._pending_evictions = 0
+
+            results.append(
+                DistributedResult(
+                    result=combined,
+                    n_nodes=len(share),
+                    node_stats=node_stats,
+                    dc_seconds=dc_seconds[slot],
+                    factor_seconds=self.executor.max_factor_seconds(share),
+                    superpose_seconds=superpose_seconds,
+                    factor_cache_hits=hits,
+                    factor_cache_misses=misses,
+                    factor_cache_evictions=evictions,
+                    scenario=(
+                        None if scenario.is_baseline else scenario.name
+                    ),
+                )
+            )
+        self.n_scenarios_run += len(scenarios)
+        return results

@@ -155,3 +155,114 @@ class TestRun:
         va = np.loadtxt(a, delimiter=",", skiprows=1)
         vb = np.loadtxt(b, delimiter=",", skiprows=1)
         assert np.allclose(va, vb, atol=1e-9)
+
+
+class TestSweep:
+    @pytest.fixture
+    def ibmpg_deck(self, tmp_path):
+        from repro.pdn import PdnConfig, WorkloadSpec, synthesize_ibmpg
+
+        path = tmp_path / "pg_like.spice"
+        synthesize_ibmpg(
+            path,
+            PdnConfig(rows=8, cols=8),
+            WorkloadSpec(n_sources=6, n_shapes=2, t_end=1e-9,
+                         time_grid_points=8),
+        )
+        return path
+
+    def test_random_scenarios_end_to_end(self, ibmpg_deck, capsys):
+        assert main(["sweep", "--netlist", str(ibmpg_deck),
+                     "--scenarios", "random:3:7"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled plan:" in out
+        assert "pattern0" in out and "pattern2" in out
+        assert "sweep: 3 scenarios" in out
+        assert "factor cache:" in out
+
+    def test_json_spec_and_out_dir(self, ibmpg_deck, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '[{"name": "nominal"}, {"name": "hot", "scale_loads": 1.3}]'
+        )
+        out_dir = tmp_path / "waves"
+        assert main(["sweep", "--netlist", str(ibmpg_deck),
+                     "--scenarios", str(spec),
+                     "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "nominal" in out and "hot" in out
+        data = np.load(out_dir / "hot.npz")
+        assert data["states"].shape[0] == data["times"].shape[0]
+        nominal = np.load(out_dir / "nominal.npz")
+        # A hotter pattern cannot droop less than nominal anywhere.
+        assert data["states"].min() <= nominal["states"].min() + 1e-12
+
+    def test_sweep_matches_independent_runs(self, ibmpg_deck, tmp_path,
+                                            capsys):
+        """CLI sweep scenarios == independent cold CLI runs (nominal)."""
+        out_dir = tmp_path / "waves"
+        spec = tmp_path / "spec.json"
+        spec.write_text('[{"name": "nominal"}]')
+        assert main(["sweep", "--netlist", str(ibmpg_deck),
+                     "--scenarios", str(spec),
+                     "--out-dir", str(out_dir)]) == 0
+        single = tmp_path / "single.npz"
+        assert main(["run", "--netlist", str(ibmpg_deck),
+                     "--distributed", "--batch", "auto",
+                     "--out", str(single)]) == 0
+        capsys.readouterr()
+        a = np.load(out_dir / "nominal.npz")
+        b = np.load(single)
+        np.testing.assert_array_equal(a["states"], b["states"])
+
+    def test_bad_random_spec_is_usage_error(self, ibmpg_deck, capsys):
+        assert main(["sweep", "--netlist", str(ibmpg_deck),
+                     "--scenarios", "random:0"]) == 2
+        assert "random:<n>" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_usage_error(self, ibmpg_deck, capsys):
+        assert main(["sweep", "--netlist", str(ibmpg_deck),
+                     "--scenarios", "nope.json"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_non_matex_method_is_usage_error(self, ibmpg_deck, capsys):
+        assert main(["sweep", "--netlist", str(ibmpg_deck),
+                     "--scenarios", "random:2", "--method", "tr"]) == 2
+        assert "MATEX method" in capsys.readouterr().err
+
+    def test_factor_cache_flags_reconfigure(self, ibmpg_deck, capsys):
+        from repro.linalg.lu import FACTORIZATION_CACHE
+
+        stats0 = FACTORIZATION_CACHE.stats()
+        try:
+            assert main(["sweep", "--netlist", str(ibmpg_deck),
+                         "--scenarios", "random:2",
+                         "--factor-cache-entries", "9",
+                         "--factor-cache-bytes", "64M"]) == 0
+            out = capsys.readouterr().out
+            assert "limits 9 entries / 64 MiB" in out
+        finally:
+            FACTORIZATION_CACHE.configure(
+                max_entries=stats0["max_entries"],
+                max_bytes=stats0["max_bytes"],
+            )
+
+    def test_out_dir_sanitises_scenario_names(self, ibmpg_deck, tmp_path,
+                                              capsys):
+        """Arbitrary spec names cannot escape --out-dir or collide."""
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '[{"name": "block/quiet", "scale_loads": 0.9},'
+            ' {"name": "block/quiet", "scale_loads": 1.1}]'
+        )
+        out_dir = tmp_path / "waves"
+        assert main(["sweep", "--netlist", str(ibmpg_deck),
+                     "--scenarios", str(spec),
+                     "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        written = sorted(p.name for p in out_dir.iterdir())
+        assert written == ["block_quiet.1.npz", "block_quiet.npz"]
+        # Both trajectories are real and distinct (different scalings).
+        a = np.load(out_dir / "block_quiet.npz")["states"]
+        b = np.load(out_dir / "block_quiet.1.npz")["states"]
+        assert a.shape == b.shape and not np.array_equal(a, b)

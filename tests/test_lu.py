@@ -55,3 +55,55 @@ class TestValidation:
         m = sp.csc_matrix(np.zeros((2, 2)))
         with pytest.raises(FactorizationError, match="myC"):
             SparseLU(m, label="myC")
+
+
+class TestMultiRhsBitStability:
+    """solve_many must be per-column bit-identical at ANY batch width.
+
+    Handing SuperLU a multi-RHS block substitutes supernodes through
+    BLAS kernels whose accumulation order depends on the RHS count and
+    the factor's supernode shapes — bit-stable on some matrices,
+    divergent at single-digit widths on others (pg4t's pencil).
+    SparseLU.solve_many therefore substitutes column by column through
+    the single-RHS path; this is the invariant the lockstep block
+    march (and the scenario-sweep stacking on top of it) is built on.
+    """
+
+    def test_wide_blocks_match_individual_solves(self, spd_matrix, rng):
+        lu = SparseLU(spd_matrix)
+        width = 300
+        block = rng.normal(size=(spd_matrix.shape[0], width))
+        ref = np.column_stack(
+            [lu.solve(block[:, i]) for i in range(width)]
+        )
+        out = lu.solve_many(block)
+        assert out.tobytes() == ref.tobytes()
+
+    def test_batching_is_alignment_independent(self, spd_matrix, rng):
+        """A column's bits don't depend on its position in the batch."""
+        lu = SparseLU(spd_matrix)
+        block = rng.normal(size=(spd_matrix.shape[0], 96))
+        whole = lu.solve_many(block)
+        shifted = lu.solve_many(block[:, 7:])
+        assert whole[:, 7:].tobytes() == shifted.tobytes()
+
+    def test_pg4t_pencil_regression(self):
+        """The matrix family where raw multi-RHS SuperLU diverges."""
+        from repro.pdn import build_case
+
+        system, _ = build_case("pg4t")
+        pencil = (system.C + 1e-10 * system.G).tocsc()
+        lu = SparseLU(pencil, "pencil")
+        rng = np.random.default_rng(1)
+        block = rng.normal(size=(system.dim, 16))
+        ref = np.column_stack(
+            [lu.solve(block[:, i]) for i in range(16)]
+        )
+        # lu.solve counted 16 pairs; solve_many counts 16 more.
+        assert lu.solve_many(block).tobytes() == ref.tobytes()
+        assert lu.n_solves == 32
+
+    def test_solve_counting_matches_column_count(self, spd_matrix, rng):
+        lu = SparseLU(spd_matrix)
+        lu.solve_many(rng.normal(size=(spd_matrix.shape[0], 37)))
+        assert lu.n_solves == 37
