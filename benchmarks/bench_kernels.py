@@ -3,6 +3,9 @@
 Measures the primitives the paper's complexity model is built from:
 
 * ``Tbs``   — one forward/backward substitution pair,
+* the level-scheduled multi-RHS substitution kernel vs the per-column
+  loop (the batched-march multiplier; gated, see
+  ``check_perf_regression.py``),
 * Arnoldi basis construction (m substitution pairs + orthogonalisation),
 * ``TH+Te`` — one small-exponential snapshot evaluation, comparing the
   eigendecomposition fast path against plain Padé (our ablation: the
@@ -28,6 +31,50 @@ def test_substitution_pair(benchmark, system):
     lu = SparseLU((system.C + 1e-10 * system.G).tocsc(), label="probe")
     rhs = np.random.default_rng(0).normal(size=system.dim)
     benchmark(lambda: lu.solve(rhs))
+
+
+def test_multi_rhs_substitution_batched(benchmark, system, record_metric):
+    """Level-scheduled lockstep batch vs the per-column scalar loop.
+
+    Both paths produce bit-identical blocks (asserted — the invariant
+    the batched march rests on); the level kernel must keep a healthy
+    multiple over the column loop at march-like widths or the restored
+    3x batched-march gate erodes from below.
+    """
+    import time
+
+    from repro.linalg.triangular import set_kernel_mode
+
+    lu = SparseLU((system.C + 1e-10 * system.G).tocsc(), label="probe")
+    block = np.random.default_rng(3).normal(size=(system.dim, 128))
+    lu.prime_kernel(wide=True)  # pay export + schedule outside timing
+
+    set_kernel_mode("column")
+    column_out = lu.solve_many(block)
+    set_kernel_mode(None)
+    level_out = lu.solve_many(block)
+    assert level_out.tobytes() == column_out.tobytes()
+
+    column_walls, level_walls = [], []
+    for _ in range(7):  # interleaved best-of, like the march gate
+        set_kernel_mode("column")
+        t0 = time.perf_counter()
+        lu.solve_many(block)
+        column_walls.append(time.perf_counter() - t0)
+        set_kernel_mode(None)
+        t0 = time.perf_counter()
+        lu.solve_many(block)
+        level_walls.append(time.perf_counter() - t0)
+    kernel_speedup = min(column_walls) / min(level_walls)
+
+    record_metric("column_wall_seconds", min(column_walls))
+    record_metric("level_wall_seconds", min(level_walls))
+    record_metric("kernel_speedup", kernel_speedup)
+    assert kernel_speedup >= 1.5, (
+        f"level kernel must be >= 1.5x the column loop at width 128, "
+        f"got {kernel_speedup:.2f}x"
+    )
+    benchmark(lambda: lu.solve_many(block))
 
 
 def test_arnoldi_basis_build(benchmark, system):

@@ -14,6 +14,15 @@ sub-threshold timings (< ``--min-seconds``, pure noise) are reported
 but never fail the gate.  The factor can be overridden with the
 ``PERF_GATE_FACTOR`` environment variable (e.g. for slow CI runners).
 
+On top of the relative wall-time comparison, :data:`METRIC_FLOORS`
+gates a handful of *recorded metrics* against absolute floors taken
+from the fresh run only: ratios like the batched-march speedup or the
+level-kernel multiple are self-normalising (both sides measured on the
+same machine in the same process), so unlike wall times they can be
+held to a hard number regardless of how slow the runner is.  A floored
+metric missing from the fresh run fails the gate — silently dropping
+the measurement must not pass as green.
+
 Exit status: 0 when no gated test regressed, 1 otherwise.
 """
 
@@ -31,6 +40,20 @@ DEFAULT_MODULES = (
     "bench_ingest",
     "bench_sweep",
 )
+
+#: Absolute floors on recorded metrics, checked against the FRESH run:
+#: ``{module: {test: {metric: floor}}}``.  These are machine-relative
+#: ratios, so a hard floor is meaningful on any runner.  They mirror
+#: the in-bench asserts (belt and braces: the gate also catches a
+#: baseline regenerated from a run whose asserts were skipped).
+METRIC_FLOORS: dict[str, dict[str, dict[str, float]]] = {
+    "bench_table3_distributed": {
+        "test_block_batched_march": {"batched_speedup": 3.0},
+    },
+    "bench_kernels": {
+        "test_multi_rhs_substitution_batched": {"kernel_speedup": 1.5},
+    },
+}
 
 
 def load_results(path: Path) -> dict[str, dict]:
@@ -80,6 +103,33 @@ def compare_module(
             f"{module}::{name}: baseline {base_wall:.3f}s, "
             f"fresh {fresh_wall:.3f}s ({ratio:.2f}x) [{verdict}]"
         )
+
+    for test_name, floors in METRIC_FLOORS.get(module, {}).items():
+        fresh_entry = fresh.get(test_name)
+        if fresh_entry is None:
+            failures.append(
+                f"{module}::{test_name}: floored test missing from fresh run"
+            )
+            continue
+        metrics = fresh_entry.get("metrics", {})
+        for metric, floor in sorted(floors.items()):
+            value = metrics.get(metric)
+            if value is None:
+                failures.append(
+                    f"{module}::{test_name}: metric {metric!r} not recorded "
+                    f"(floor {floor:g})"
+                )
+                continue
+            verdict = "ok" if value >= floor else "REGRESSION"
+            if value < floor:
+                failures.append(
+                    f"{module}::{test_name}: {metric} = {value:.2f} "
+                    f"below floor {floor:g}"
+                )
+            print(
+                f"{module}::{test_name}: {metric} = {value:.2f} "
+                f"(floor {floor:g}) [{verdict}]"
+            )
 
     base_rss = max(
         (e.get("peak_rss_kb", 0) for e in baseline.values()), default=0

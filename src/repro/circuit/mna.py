@@ -324,7 +324,10 @@ class MNASystem:
             )
 
     def bu_series(
-        self, times: np.ndarray, active: Sequence[int] | None = None
+        self,
+        times: np.ndarray,
+        active: Sequence[int] | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """``B @ u(t)`` for a whole time grid at once, shape ``(dim, k)``.
 
@@ -336,10 +339,25 @@ class MNASystem:
         mat-mat product performs, without materialising the ``B[:,
         cols]`` slice (sparse fancy indexing costs more than the
         product for the small per-node column sets).
+
+        ``out`` reuses a caller-held ``(dim, k)`` float64 buffer for the
+        result instead of allocating one per call — the marching hot
+        paths call this per segment.  It is zero-filled first (``+0.0``
+        everywhere, exactly like a fresh allocation), so the scatter
+        accumulation — and therefore every bit of the result — is
+        identical with or without buffer reuse.
         """
         times = np.asarray(times, dtype=float)
         k = times.shape[0]
-        out = np.zeros((self.dim, k))
+        if out is None:
+            out = np.zeros((self.dim, k))
+        else:
+            if out.shape != (self.dim, k) or out.dtype != np.float64:
+                raise ValueError(
+                    f"out must be a float64 buffer of shape "
+                    f"{(self.dim, k)}, got {out.dtype} {out.shape}"
+                )
+            out[...] = 0.0
         cols = range(self.n_inputs) if active is None else active
         for rows, vals, u_row in self.bu_scatter_terms(times, cols):
             out[rows] += vals[:, None] * u_row[None, :]

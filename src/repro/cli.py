@@ -61,6 +61,7 @@ from repro.engine import (
     make_sink,
 )
 from repro.linalg.lu import FACTORIZATION_CACHE, parse_byte_size
+from repro.linalg.triangular import KERNEL_MODES, set_kernel_mode
 
 __all__ = ["main", "build_parser"]
 
@@ -209,6 +210,14 @@ def _add_cache_options(p: argparse.ArgumentParser) -> None:
         "--factor-cache-bytes", type=_byte_size, default=None,
         help="max bytes of resident LU factors, K/M/G suffixes ok "
              "(default 256M, or REPRO_FACTOR_CACHE_BYTES)")
+    p.add_argument(
+        "--triangular-kernel", default=None,
+        choices=sorted(KERNEL_MODES),
+        help="substitution kernel: level (default — level-scheduled "
+             "multi-RHS lockstep, per-column bit-identical to scalar "
+             "solves) | column (exported scalar path per column, same "
+             "bits) | legacy (SuperLU's own solves); also "
+             "REPRO_TRIANGULAR_KERNEL")
 
 
 def _add_sim_options(sim: argparse.ArgumentParser) -> None:
@@ -580,6 +589,8 @@ def main(argv: list[str] | None = None) -> int:
             max_entries=args.factor_cache_entries,
             max_bytes=args.factor_cache_bytes,
         )
+    if getattr(args, "triangular_kernel", None) is not None:
+        set_kernel_mode(args.triangular_kernel)
     handlers = {
         "info": _cmd_info,
         "dc": _cmd_dc,

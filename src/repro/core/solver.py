@@ -101,6 +101,10 @@ class MatexSolver:
         self.construction_cache_hits = hits1 - hits0
         self.construction_cache_misses = misses1 - misses0
         self.deviation_mode = deviation_mode
+        # Reusable input-grid buffer: the per-node march calls simulate
+        # once per task over one shared grid shape, and bu_series fills
+        # a caller-held buffer bit-identically to a fresh allocation.
+        self._bu_buffer: np.ndarray | None = None
 
     # -- public API ---------------------------------------------------------------
 
@@ -193,8 +197,11 @@ class MatexSolver:
         # pulse sources); segment slopes are exact finite differences of
         # these columns.  In deviation mode the t=0 column is subtracted
         # (constant offsets cancel in the slopes).
+        grid_shape = (self.system.dim, len(points))
+        if self._bu_buffer is None or self._bu_buffer.shape != grid_shape:
+            self._bu_buffer = np.empty(grid_shape)
         bu_grid = input_system.bu_series(
-            np.asarray(points), active=active_inputs
+            np.asarray(points), active=active_inputs, out=self._bu_buffer
         )
         if self.deviation_mode:
             bu0 = bu_grid[:, 0].copy()

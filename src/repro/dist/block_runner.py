@@ -106,6 +106,10 @@ class BlockNodeRunner:
         self._estimator = FastEstimator(self.solver.op)
         self._pending_cache_hits = self.solver.construction_cache_hits
         self._pending_cache_misses = self.solver.construction_cache_misses
+        # Reusable (dim, 2·width) RHS buffer for the segment rounds and
+        # the entries written into it last round (see _build_segments).
+        self._busu: np.ndarray | None = None
+        self._busu_dirty: list[tuple[np.ndarray, int]] = []
 
     # -- public API ---------------------------------------------------------------
 
@@ -288,14 +292,29 @@ class BlockNodeRunner:
             return
         # One fused multi-RHS substitution serves both the value (BU)
         # and slope (SU) vectors — each column is an independent pair,
-        # so fusing changes call count, not numbers.
-        BUSU = np.zeros((n, 2 * width))
+        # so fusing changes call count, not numbers.  The RHS block is
+        # scattered into one runner-held buffer reused across rounds:
+        # only the entries written last round are re-zeroed (``= 0.0``
+        # stores the same ``+0.0`` a fresh allocation holds), so reuse
+        # is bit-identical to allocating a (dim, 2·width) block per
+        # round while eliminating that hot-path allocation.
+        need = 2 * width
+        if self._busu is None or self._busu.shape[1] < need:
+            self._busu = np.zeros((n, need))
+            self._busu_dirty = []
+        for rows, col in self._busu_dirty:
+            self._busu[rows, col] = 0.0
+        dirty = []
+        BUSU = self._busu[:, :need]
         for c, t in enumerate(builders):
             h = pts[t.i0 + 1] - pts[t.i0]
             BUSU[t.rows, c] = t.bu_comp[:, t.i0]
             BUSU[t.rows, width + c] = (
                 t.bu_comp[:, t.i0 + 1] - t.bu_comp[:, t.i0]
             ) / h
+            dirty.append((t.rows, c))
+            dirty.append((t.rows, width + c))
+        self._busu_dirty = dirty
         W12 = lu_g.solve_many(BUSU)
         W1, W2 = W12[:, :width], W12[:, width:]
         W3 = lu_g.solve_many(C @ W2)

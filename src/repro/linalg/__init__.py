@@ -14,12 +14,19 @@ from repro.linalg.krylov import (
     make_krylov_operator,
 )
 from repro.linalg.lu import FactorizationError, SparseLU
+from repro.linalg.triangular import (
+    KERNEL_MODES,
+    TriangularFactors,
+    kernel_mode,
+    set_kernel_mode,
+)
 
 __all__ = [
     "ArnoldiBreakdown",
     "ArnoldiResult",
     "FactorizationError",
     "InvertedKrylov",
+    "KERNEL_MODES",
     "KrylovBasis",
     "KrylovExpmOperator",
     "METHOD_NAMES",
@@ -27,6 +34,7 @@ __all__ = [
     "RegularizationRequiredError",
     "SparseLU",
     "StandardKrylov",
+    "TriangularFactors",
     "arnoldi",
     "dense_a_matrix",
     "etd_exact_step",
@@ -34,5 +42,7 @@ __all__ = [
     "expm",
     "expm_action",
     "expm_e1",
+    "kernel_mode",
     "make_krylov_operator",
+    "set_kernel_mode",
 ]

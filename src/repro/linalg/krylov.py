@@ -384,8 +384,10 @@ class KrylovExpmOperator:
         One sparse mat-mat product plus one multi-RHS substitution; the
         accounting charges one forward/backward pair per column, and
         each output column is bit-for-bit identical to a scalar
-        :meth:`apply` of that column (SuperLU substitutes and CSC
-        products scatter column-by-column either way).  This is the
+        :meth:`apply` of that column: CSC products scatter
+        column-by-column, and the level-scheduled substitution kernel
+        (:mod:`repro.linalg.triangular`) reproduces the scalar sweep's
+        accumulation order per column at any batch width.  This is the
         primitive the lockstep block-Arnoldi builds on.
         """
         if V.ndim == 1:

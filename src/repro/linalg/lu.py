@@ -35,6 +35,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.linalg.triangular import TriangularHolder, kernel_mode
+
 __all__ = [
     "SparseLU",
     "FactorizationError",
@@ -79,6 +81,7 @@ class SparseLU:
     factor_seconds: float = field(init=False, default=0.0)
     n_solves: int = field(init=False, default=0)
     _lu: spla.SuperLU = field(init=False, repr=False, default=None)
+    _tri: TriangularHolder = field(init=False, repr=False, default=None)
 
     def __post_init__(self):
         m = sp.csc_matrix(self.matrix)
@@ -93,15 +96,32 @@ class SparseLU:
             ) from exc
         self.factor_seconds = time.perf_counter() - t0
         self.matrix = m
+        self._tri = TriangularHolder()
 
     @property
     def shape(self) -> tuple[int, int]:
         return self.matrix.shape
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
-        """One forward/backward substitution pair: return ``A⁻¹ rhs``."""
+        """One forward/backward substitution pair: return ``A⁻¹ rhs``.
+
+        Substitutes through the exported column-sweep kernel
+        (:mod:`repro.linalg.triangular`) — the arithmetic definition the
+        multi-RHS level kernel matches bit-for-bit per column — falling
+        back to SuperLU's own solve in ``legacy`` mode or when the
+        export could not be verified.  A 2-D right-hand side is routed
+        through :meth:`solve_many` (one counted pair per column).
+        """
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.ndim != 1:
+            return self.solve_many(rhs)
         self.n_solves += 1
-        return self._lu.solve(np.asarray(rhs, dtype=float))
+        tri = None
+        if kernel_mode() != "legacy":
+            tri = self._tri.get(self._lu, self.matrix)
+        if tri is None:
+            return self._lu.solve(rhs)
+        return tri.solve(rhs)
 
     def solve_many(self, rhs: np.ndarray) -> np.ndarray:
         """Solve against a dense block of right-hand sides (columns).
@@ -109,30 +129,85 @@ class SparseLU:
         Counts one substitution pair per column, matching the paper's
         accounting (each column is an independent pair).
 
-        Each column is substituted through its **own** single-RHS
-        ``gstrs`` call, so every column is bit-identical to
-        :meth:`solve` of that column — regardless of how many columns
-        the caller batches, and at any offset within the batch.  This
-        is the invariant the lockstep block march (and the scenario
-        sweeps stacked on top of it) is built on.  Handing SuperLU the
-        whole block at once would be ~1.7× faster on the substitution
-        itself but is **not** per-column deterministic: for nrhs > 1
-        SuperLU substitutes supernodes through BLAS kernels whose
-        accumulation order depends on the RHS count and the supernode
-        shapes — bit-stable on some matrices (pg1t's ``G`` up to
-        ~640 columns) and divergent at nrhs = 8 on others (pg4t's
-        pencil).  ``tests/test_lu.py`` pins the per-column contract.
+        Output contract (pinned by ``tests/test_lu.py``): a 2-D input of
+        ``k`` columns — including ``k = 0`` — returns an **F-ordered**
+        float64 ``(n, k)`` block; a 1-D input returns a 1-D float64
+        vector bit-identical to :meth:`solve`.
+
+        All columns are substituted in lockstep by the level-scheduled
+        kernel (:class:`repro.linalg.triangular.TriangularFactors`):
+        SuperLU's factors are exported once per factorisation, each
+        triangular factor is scheduled into topological levels of its
+        dependency DAG, and every level applies one CSR block-matvec
+        whose per-row accumulation order is exactly the scalar column
+        sweep's (ascending original columns for ``L``, descending for
+        ``U``).  Each output column is therefore **bit-for-bit
+        identical** to :meth:`solve` of that column *by construction* —
+        at any batch width and any offset within the batch — which is
+        the invariant the lockstep block march (and the scenario sweeps
+        stacked on top of it) is built on, while the batch runs ~3×
+        faster than substituting column by column.  Handing SuperLU the
+        whole block instead would not be per-column deterministic: its
+        supernodal BLAS kernels change accumulation order with the RHS
+        count (bit-stable on pg1t's ``G``, divergent at nrhs = 8 on
+        pg4t's pencil).
+
+        Escape hatches (``REPRO_TRIANGULAR_KERNEL`` / the CLI's
+        ``--triangular-kernel``): ``column`` loops over the exported
+        scalar path — same bits, no level kernel — and ``legacy``
+        restores SuperLU's own per-column solves.  Factors whose export
+        fails verification use the legacy path automatically.
         """
         rhs = np.asarray(rhs, dtype=float)
         if rhs.ndim == 1:
-            self.n_solves += 1
-            return self._lu.solve(rhs)
-        n_cols = rhs.shape[1]
+            return self.solve(rhs)
+        n, n_cols = rhs.shape
         self.n_solves += n_cols
-        out = np.empty_like(rhs, order="F")
-        for i in range(n_cols):
-            out[:, i] = self._lu.solve(rhs[:, i])
+        if n_cols == 0:
+            return np.empty((n, 0), dtype=float, order="F")
+        mode = kernel_mode()
+        tri = None
+        if mode != "legacy":
+            tri = self._tri.get(
+                self._lu, self.matrix,
+                schedule=(mode == "level" and n_cols > 1),
+            )
+        if tri is not None and mode == "level" and n_cols > 1:
+            return tri.solve_many(rhs)
+        out = np.empty((n, n_cols), dtype=float, order="F")
+        if tri is None:
+            for i in range(n_cols):
+                out[:, i] = self._lu.solve(rhs[:, i])
+        else:
+            for i in range(n_cols):
+                out[:, i] = tri.solve(rhs[:, i])
         return out
+
+    def prime_kernel(self, wide: bool = True) -> bool:
+        """Eagerly export the substitution kernel for later solves.
+
+        ``wide`` also builds the level schedules the multi-RHS kernel
+        runs on.  Called at plan-compile time so a scenario sweep's
+        first lockstep round pays no export latency; a no-op (returning
+        ``False``) in ``legacy`` mode or when the export falls back.
+        """
+        if kernel_mode() == "legacy":
+            return False
+        return self._tri.get(self._lu, self.matrix, schedule=wide) is not None
+
+    def resident_bytes(self) -> int:
+        """Estimated bytes pinned by this factorisation right now.
+
+        12 bytes per stored nonzero (8 data + 4 index) for the CSC
+        matrix and the SuperLU L+U fill, plus the *actual* bytes of the
+        exported triangular factors and level schedules once they are
+        built — the quantity :class:`FactorizationCache` budgets with.
+        """
+        factor_nnz = getattr(self._lu, "nnz", self.matrix.nnz)
+        return (
+            12 * (int(factor_nnz) + int(self.matrix.nnz))
+            + self._tri.nbytes()
+        )
 
     def reset_counters(self) -> None:
         """Zero the solve counter (factor time is kept)."""
@@ -145,7 +220,9 @@ class SparseLU:
         Used by :class:`FactorizationCache` on a hit: the substitution
         counters belong to the new consumer, and ``factor_seconds`` is
         zero because the hit paid no factorisation — which is exactly the
-        amortisation the cache exists to demonstrate.
+        amortisation the cache exists to demonstrate.  The triangular
+        holder is shared too: exports and level schedules are built once
+        per factorisation, never per view.
         """
         view = object.__new__(cls)
         view.matrix = origin.matrix
@@ -153,6 +230,7 @@ class SparseLU:
         view.factor_seconds = 0.0
         view.n_solves = 0
         view._lu = origin._lu
+        view._tri = origin._tri
         return view
 
 
@@ -273,7 +351,10 @@ class FactorizationCache:
 
     Residency is bounded two ways: at most ``max_entries`` factors, and
     at most ``max_bytes`` of estimated factor + matrix storage (SuperLU
-    reports its L+U fill, so the estimate tracks reality).  Sweeps over
+    reports its L+U fill, and the exported triangular factors / level
+    schedules of :mod:`repro.linalg.triangular` are measured exactly
+    and re-measured on every size-based decision, so the estimate
+    tracks reality even though exports build lazily).  Sweeps over
     many large pencils therefore evict old factors instead of pinning
     multi-GB of LU data for the life of the process; call :meth:`clear`
     to release everything eagerly.
@@ -309,13 +390,24 @@ class FactorizationCache:
 
     @staticmethod
     def _entry_bytes(lu: "SparseLU") -> int:
-        """Approximate resident bytes of one entry (factors + matrix).
+        """Resident bytes of one entry (factors + matrix + exports).
 
-        12 bytes per stored nonzero (8 data + 4 index) for both the
-        CSC matrix and the SuperLU L+U fill.
+        Delegates to :meth:`SparseLU.resident_bytes`, which includes the
+        exported triangular factors and level schedules — without them
+        the limits would undercount true memory by roughly the L+U fill
+        once a consumer triggers the export.
         """
-        factor_nnz = getattr(lu._lu, "nnz", lu.matrix.nnz)
-        return 12 * (int(factor_nnz) + int(lu.matrix.nnz))
+        return lu.resident_bytes()
+
+    def _refresh_bytes_locked(self) -> None:
+        """Re-measure every entry's residency (caller holds the lock).
+
+        Kernel exports and level schedules are built lazily *after* an
+        entry is inserted, so the recorded sizes go stale; refreshing
+        before any size-based decision keeps the byte limit honest.
+        """
+        for key, lu in self._entries.items():
+            self._bytes[key] = self._entry_bytes(lu)
 
     def factor(
         self,
@@ -348,7 +440,7 @@ class FactorizationCache:
         lu = SparseLU(matrix, label=label)
         with self._lock:
             self._entries[key] = lu
-            self._bytes[key] = self._entry_bytes(lu)
+            self._refresh_bytes_locked()
             self._evict_to_limits_locked()
         return lu
 
@@ -387,11 +479,13 @@ class FactorizationCache:
                 self.max_entries = max_entries
             if max_bytes is not None:
                 self.max_bytes = max_bytes
+            self._refresh_bytes_locked()
             self._evict_to_limits_locked()
 
     def stats(self) -> dict[str, int]:
         """One consistent snapshot of counters, residency and limits."""
         with self._lock:
+            self._refresh_bytes_locked()
             return {
                 "hits": self.hits,
                 "misses": self.misses,
@@ -411,6 +505,7 @@ class FactorizationCache:
     def resident_bytes(self) -> int:
         """Estimated bytes currently pinned by cached factors."""
         with self._lock:
+            self._refresh_bytes_locked()
             return sum(self._bytes.values())
 
     def __len__(self) -> int:

@@ -111,10 +111,17 @@ def prime_factorizations(system: MNASystem, options: SolverOptions) -> None:
     every later :class:`~repro.dist.worker.NodeWorker` /
     :class:`~repro.dist.block_runner.BlockNodeRunner` built in this
     process gets a hit instead of a factorisation.
+
+    The pencil's substitution kernel is primed along with the factors:
+    the triangular export *and* its level schedules
+    (:mod:`repro.linalg.triangular`) are built here, once, so the block
+    Arnoldi's first multi-RHS round in every sweep session is served by
+    the already-scheduled kernel (a no-op in ``legacy`` kernel mode).
     """
-    make_krylov_operator(
+    op = make_krylov_operator(
         options.method, system.C, system.G, gamma=options.gamma
     )
+    op.lu.prime_kernel(wide=True)
 
 
 @dataclass(frozen=True, eq=False)
@@ -239,6 +246,10 @@ class SimulationPlan:
 
         if prime:
             prime_factorizations(self.system, self.options)
+            # The lockstep rounds feed ``G`` wide RHS blocks too (the
+            # fused ETD substitutions); schedule its kernel at compile
+            # time so no sweep session pays the one-off level build.
+            lu_g.prime_kernel(wide=True)
 
         stats1 = FACTORIZATION_CACHE.stats()
         return CompiledPlan(

@@ -64,9 +64,13 @@ class TestMultiRhsBitStability:
     BLAS kernels whose accumulation order depends on the RHS count and
     the factor's supernode shapes — bit-stable on some matrices,
     divergent at single-digit widths on others (pg4t's pencil).
-    SparseLU.solve_many therefore substitutes column by column through
-    the single-RHS path; this is the invariant the lockstep block
-    march (and the scenario-sweep stacking on top of it) is built on.
+    SparseLU.solve_many therefore runs the level-scheduled kernel of
+    :mod:`repro.linalg.triangular`, whose per-row accumulation order is
+    the scalar column sweep's by construction and never depends on the
+    batch; this is the invariant the lockstep block march (and the
+    scenario-sweep stacking on top of it) is built on.  Deeper coverage
+    (random widths/offsets, kernel escape hatches) lives in
+    ``tests/test_triangular.py``.
     """
 
     def test_wide_blocks_match_individual_solves(self, spd_matrix, rng):
@@ -107,3 +111,52 @@ class TestMultiRhsBitStability:
         lu = SparseLU(spd_matrix)
         lu.solve_many(rng.normal(size=(spd_matrix.shape[0], 37)))
         assert lu.n_solves == 37
+
+
+class TestSolveManyContract:
+    """Output-contract pins for solve_many (documented in its docstring).
+
+    Before the level-kernel rewire, the 1-D path returned a 2-D block
+    and the 0-column edge case produced a C-ordered array — consumers
+    that relied on the documented F-ordered ``(n, k)`` contract (the
+    zero-copy transport slicing columns out of the march block) only
+    worked by accident.  These tests pin every branch of the contract.
+    """
+
+    def test_two_d_input_returns_f_ordered_float64(self, spd_matrix, rng):
+        lu = SparseLU(spd_matrix)
+        out = lu.solve_many(rng.normal(size=(12, 5)))
+        assert out.shape == (12, 5)
+        assert out.dtype == np.float64
+        assert out.flags.f_contiguous
+
+    def test_single_column_block_stays_two_d(self, spd_matrix, rng):
+        lu = SparseLU(spd_matrix)
+        b = rng.normal(size=(12, 1))
+        out = lu.solve_many(b)
+        assert out.shape == (12, 1)
+        assert out.flags.f_contiguous
+        assert out[:, 0].tobytes() == lu.solve(b[:, 0]).tobytes()
+
+    def test_one_d_input_returns_one_d_bitwise_solve(self, spd_matrix, rng):
+        lu = SparseLU(spd_matrix)
+        b = rng.normal(size=12)
+        out = lu.solve_many(b)
+        assert out.ndim == 1
+        assert out.dtype == np.float64
+        assert out.tobytes() == lu.solve(b).tobytes()
+
+    def test_zero_columns_returns_empty_f_ordered(self, spd_matrix):
+        lu = SparseLU(spd_matrix)
+        out = lu.solve_many(np.empty((12, 0)))
+        assert out.shape == (12, 0)
+        assert out.dtype == np.float64
+        assert out.flags.f_contiguous
+        assert lu.n_solves == 0
+
+    def test_list_input_accepted(self, spd_matrix):
+        lu = SparseLU(spd_matrix)
+        b = [float(i) for i in range(12)]
+        out = lu.solve_many(b)
+        assert out.ndim == 1
+        assert out.tobytes() == lu.solve(np.asarray(b, dtype=float)).tobytes()
