@@ -19,7 +19,11 @@ gates a handful of *recorded metrics* against absolute floors taken
 from the fresh run only: ratios like the batched-march speedup or the
 level-kernel multiple are self-normalising (both sides measured on the
 same machine in the same process), so unlike wall times they can be
-held to a hard number regardless of how slow the runner is.  A floored
+held to a hard number regardless of how slow the runner is.
+:data:`METRIC_CEILINGS` is the mirror image for metrics that must stay
+*small* — the reduced-order tier's fallback rate (a ratio), and one
+deliberately lenient absolute ceiling on ``warm_ms_per_scenario`` that
+catches only catastrophic slowdowns, not runner jitter.  A gated
 metric missing from the fresh run fails the gate — silently dropping
 the measurement must not pass as green.
 
@@ -39,6 +43,7 @@ DEFAULT_MODULES = (
     "bench_table3_distributed",
     "bench_ingest",
     "bench_sweep",
+    "bench_rom",
 )
 
 #: Absolute floors on recorded metrics, checked against the FRESH run:
@@ -52,6 +57,25 @@ METRIC_FLOORS: dict[str, dict[str, dict[str, float]]] = {
     },
     "bench_kernels": {
         "test_multi_rhs_substitution_batched": {"kernel_speedup": 1.5},
+    },
+    "bench_rom": {
+        "test_rom_sweep_speedup": {"rom_speedup": 10.0},
+    },
+}
+
+#: Absolute ceilings on recorded metrics, checked against the FRESH
+#: run (same shape as :data:`METRIC_FLOORS`).  ``fallback_rate`` is a
+#: ratio and therefore machine-independent; the
+#: ``warm_ms_per_scenario`` ceiling is deliberately ~an order of
+#: magnitude above the measured value so it only trips on a
+#: catastrophic regression of the warm sweep path, never on a slow
+#: runner.
+METRIC_CEILINGS: dict[str, dict[str, dict[str, float]]] = {
+    "bench_rom": {
+        "test_rom_sweep_speedup": {"fallback_rate": 0.05},
+    },
+    "bench_sweep": {
+        "test_sweep_vs_cold_runs": {"warm_ms_per_scenario": 5000.0},
     },
 }
 
@@ -104,32 +128,41 @@ def compare_module(
             f"fresh {fresh_wall:.3f}s ({ratio:.2f}x) [{verdict}]"
         )
 
-    for test_name, floors in METRIC_FLOORS.get(module, {}).items():
-        fresh_entry = fresh.get(test_name)
-        if fresh_entry is None:
-            failures.append(
-                f"{module}::{test_name}: floored test missing from fresh run"
-            )
-            continue
-        metrics = fresh_entry.get("metrics", {})
-        for metric, floor in sorted(floors.items()):
-            value = metrics.get(metric)
-            if value is None:
+    for bounds_table, kind in (
+        (METRIC_FLOORS, "floor"),
+        (METRIC_CEILINGS, "ceiling"),
+    ):
+        for test_name, bounds in bounds_table.get(module, {}).items():
+            fresh_entry = fresh.get(test_name)
+            if fresh_entry is None:
                 failures.append(
-                    f"{module}::{test_name}: metric {metric!r} not recorded "
-                    f"(floor {floor:g})"
+                    f"{module}::{test_name}: gated test missing from "
+                    f"fresh run"
                 )
                 continue
-            verdict = "ok" if value >= floor else "REGRESSION"
-            if value < floor:
-                failures.append(
-                    f"{module}::{test_name}: {metric} = {value:.2f} "
-                    f"below floor {floor:g}"
+            metrics = fresh_entry.get("metrics", {})
+            for metric, limit in sorted(bounds.items()):
+                value = metrics.get(metric)
+                if value is None:
+                    failures.append(
+                        f"{module}::{test_name}: metric {metric!r} not "
+                        f"recorded ({kind} {limit:g})"
+                    )
+                    continue
+                passed = (
+                    value >= limit if kind == "floor" else value <= limit
                 )
-            print(
-                f"{module}::{test_name}: {metric} = {value:.2f} "
-                f"(floor {floor:g}) [{verdict}]"
-            )
+                verdict = "ok" if passed else "REGRESSION"
+                if not passed:
+                    failures.append(
+                        f"{module}::{test_name}: {metric} = {value:.2f} "
+                        f"{'below' if kind == 'floor' else 'above'} "
+                        f"{kind} {limit:g}"
+                    )
+                print(
+                    f"{module}::{test_name}: {metric} = {value:.2f} "
+                    f"({kind} {limit:g}) [{verdict}]"
+                )
 
     base_rss = max(
         (e.get("peak_rss_kb", 0) for e in baseline.values()), default=0

@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
         --batch auto
     python -m repro.cli sweep --netlist ibmpg_like.spice \
         --scenarios patterns.json
+    python -m repro.cli sweep --netlist ibmpg_like.spice \
+        --scenarios random:1000:7 --rom 0.05
 
 ``simulate`` loads the deck through the in-memory object parser;
 ``run`` streams it through :mod:`repro.circuit.ingest` — the
@@ -24,7 +26,9 @@ a :class:`~repro.plan.SimulationPlan` and executes many what-if input
 scenarios against it in one :class:`~repro.plan.Session` (persistent
 workers, stacked lockstep marches — see :mod:`repro.plan`); scenarios
 come from a JSON spec file or ``random:<n>[:seed]`` synthetic load
-patterns.
+patterns, and ``--rom tol[:q_max]`` answers them from a rational-Krylov
+reduced-order model with a certified posterior bound and transparent
+per-scenario full-order fallback (:mod:`repro.rom`).
 
 ``--method`` resolves through the :mod:`repro.engine` integrator
 registry — MATEX flavours (``r-matex``, ``i-matex``, ``mexp``) and the
@@ -193,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=0,
         help="run node tasks on a persistent pool of this many worker "
              "processes (0 = in-process serial emulation)")
+    sweep.add_argument(
+        "--rom", default=None, metavar="TOL[:QMAX]",
+        help="answer scenarios from a reduced-order model: accept a "
+             "scenario when its posterior relative error bound is "
+             "<= TOL (QMAX caps the reduced dimension, default 200); "
+             "scenarios above the bound transparently re-run "
+             "full-order")
     sweep.add_argument("--out-dir", type=Path, default=None,
                        help="write one <scenario>.npz trajectory per "
                             "scenario into this directory")
@@ -265,12 +276,16 @@ def _load(path: Path):
 def _cache_stats_line() -> str:
     """Human-readable digest of the process-wide factorisation cache."""
     cs = FACTORIZATION_CACHE.stats()
-    return (
+    line = (
         f"factor cache: {cs['hits']} hits, {cs['misses']} misses, "
         f"{cs['evictions']} evictions; {cs['entries']} entries resident "
         f"({cs['resident_bytes'] / 2**20:.1f} MiB), limits "
         f"{cs['max_entries']} entries / {cs['max_bytes'] / 2**20:.0f} MiB"
     )
+    ext = cs.get("external_bytes", 0)
+    if ext:
+        line += f"; external models {ext / 2**20:.1f} MiB"
+    return line
 
 
 def _cmd_info(args) -> int:
@@ -463,18 +478,44 @@ def _parse_scenario_source(spec: str):
         try:
             n = int(parts[1])
             seed = int(parts[2]) if len(parts) > 2 else 2014
-            if len(parts) > 3 or n < 1:
+            # seed >= 0: numpy's default_rng rejects negative seeds,
+            # but only at scenario-construction time — *after* the
+            # deck load.  Fail on argv content instead.
+            if len(parts) > 3 or n < 1 or seed < 0:
                 raise ValueError
         except (ValueError, IndexError):
             raise _UsageError(
                 f"--scenarios random spec must be random:<n>[:seed] "
-                f"with n >= 1, got {spec!r}"
+                f"with n >= 1 and seed >= 0, got {spec!r}"
             ) from None
         return ("random", n, seed)
     path = Path(spec)
     if not path.exists():
         raise _UsageError(f"scenario spec file {spec!r} does not exist")
     return ("file", path)
+
+
+def _parse_rom(spec: str):
+    """Validate ``--rom TOL[:QMAX]`` from argv alone.
+
+    Returns a :class:`repro.rom.RomConfig` (whose own ``__post_init__``
+    range checks are surfaced as usage errors too).
+    """
+    from repro.rom import RomConfig
+
+    parts = spec.split(":")
+    try:
+        tol = float(parts[0])
+        if len(parts) > 2:
+            raise ValueError
+        if len(parts) == 2:
+            return RomConfig(tol=tol, q_max=int(parts[1]))
+        return RomConfig(tol=tol)
+    except ValueError:
+        raise _UsageError(
+            f"--rom spec must be TOL[:QMAX] with TOL > 0 and "
+            f"QMAX >= 1, got {spec!r}"
+        ) from None
 
 
 def _cmd_sweep(args) -> int:
@@ -494,6 +535,7 @@ def _cmd_sweep(args) -> int:
                 f"got {args.method!r}"
             )
         source = _parse_scenario_source(args.scenarios)
+        rom_cfg = _parse_rom(args.rom) if args.rom is not None else None
         if args.processes < 0:
             raise _UsageError(
                 f"--processes must be >= 0, got {args.processes}"
@@ -535,7 +577,7 @@ def _cmd_sweep(args) -> int:
         system, opts, t_end=t_end,
         decomposition=args.decomposition, batch=args.batch,
     )
-    compiled = plan.compile(prime=args.processes == 0)
+    compiled = plan.compile(prime=args.processes == 0, rom=rom_cfg)
     print(compiled.summary())
 
     import time as _time
@@ -557,11 +599,18 @@ def _cmd_sweep(args) -> int:
     used_names: set[str] = set()
     for slot, (scenario, dres) in enumerate(zip(scenarios, results)):
         rails = dres.result.states[:, : system.netlist.n_nodes]
+        if dres.rom_dim is None:
+            rom_note = ""
+        elif dres.rom_fallback:
+            rom_note = f" [rom-fallback, bound {dres.rom_bound:.2e}]"
+        else:
+            rom_note = (f" [rom q={dres.rom_dim}, "
+                        f"bound {dres.rom_bound:.2e}]")
         print(f"  {scenario.name}: {dres.n_nodes} nodes, "
               f"trmatex {dres.tr_matex * 1e3:.1f} ms, "
               f"min rail {rails.min():.6g} V, "
               f"LU cache {dres.factor_cache_hits}h/"
-              f"{dres.factor_cache_misses}m")
+              f"{dres.factor_cache_misses}m{rom_note}")
         if args.out_dir is not None:
             args.out_dir.mkdir(parents=True, exist_ok=True)
             # Scenario names are arbitrary user strings from the JSON
@@ -574,6 +623,12 @@ def _cmd_sweep(args) -> int:
             _export(dres.result, None, args.out_dir / f"{slug}.npz")
     print(f"sweep: {len(results)} scenarios in {wall:.2f} s "
           f"({wall / max(len(results), 1) * 1e3:.0f} ms/scenario)")
+    if compiled.rom is not None:
+        bounds = [r.rom_bound for r in results if r.rom_bound is not None]
+        print(f"rom tier: {session.rom_accepted} answered in reduced "
+              f"space (q={compiled.rom.dim}), {session.rom_fallbacks} "
+              f"fell back full-order, max bound "
+              f"{max(bounds, default=0.0):.2e}")
     print(_cache_stats_line())
     if args.out_dir is not None:
         print(f"wrote {len(results)} trajectories to {args.out_dir}")

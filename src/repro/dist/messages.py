@@ -151,6 +151,17 @@ class DistributedResult:
     scenario:
         Name of the :class:`repro.plan.Scenario` this result answers
         (``None`` for plain single-run scheduler results).
+    rom_dim:
+        Reduced dimension ``q`` of the model consulted for this
+        scenario (``None`` when the sweep ran without a reduced model;
+        set even when the answer fell back — the model was consulted).
+    rom_bound:
+        The scenario's posterior relative error bound from the reduced
+        model (``None`` when no model was consulted).
+    rom_fallback:
+        True when the bound exceeded the model's tolerance and the
+        scenario was transparently re-run on the full-order path —
+        such results are bit-identical to a sweep without the model.
     """
 
     result: TransientResult
@@ -163,6 +174,9 @@ class DistributedResult:
     factor_cache_misses: int = 0
     factor_cache_evictions: int = 0
     scenario: str | None = None
+    rom_dim: int | None = None
+    rom_bound: float | None = None
+    rom_fallback: bool = False
 
     @property
     def node_transient_seconds(self) -> list[float]:

@@ -383,6 +383,7 @@ class FactorizationCache:
         self.max_bytes = max_bytes
         self._entries: OrderedDict[tuple, SparseLU] = OrderedDict()
         self._bytes: dict[tuple, int] = {}
+        self._external: dict[str, int] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -482,6 +483,29 @@ class FactorizationCache:
             self._refresh_bytes_locked()
             self._evict_to_limits_locked()
 
+    def register_external(self, key: str, nbytes: int) -> None:
+        """Account dense derived operators against the cache's books.
+
+        Consumers that bake large dense operators *out of* cached
+        factors — e.g. a :class:`repro.rom.ReducedModel` inside a
+        compiled plan — register their footprint here so ``repro info``
+        and :meth:`stats` report the true pinned memory.  External
+        bytes are observability only: they are owned by their objects
+        (a plan keeps its model alive regardless of LRU pressure), so
+        they never trigger or suffer evictions.  Re-registering a key
+        overwrites its size; ``nbytes <= 0`` unregisters.
+        """
+        with self._lock:
+            if nbytes > 0:
+                self._external[str(key)] = int(nbytes)
+            else:
+                self._external.pop(str(key), None)
+
+    def unregister_external(self, key: str) -> None:
+        """Drop one external registration (idempotent)."""
+        with self._lock:
+            self._external.pop(str(key), None)
+
     def stats(self) -> dict[str, int]:
         """One consistent snapshot of counters, residency and limits."""
         with self._lock:
@@ -492,6 +516,7 @@ class FactorizationCache:
                 "evictions": self.evictions,
                 "entries": len(self._entries),
                 "resident_bytes": sum(self._bytes.values()),
+                "external_bytes": sum(self._external.values()),
                 "max_entries": self.max_entries,
                 "max_bytes": self.max_bytes,
             }

@@ -48,8 +48,14 @@ def load_pattern_scenarios(
     degenerates to a constant and every scenario is valid against a
     compiled plan of the base system.
 
-    Deterministic given ``seed``; usable for the Table-3 suite cases
-    and streamed ibmpg-style decks alike.
+    Deterministic given ``seed`` — and deterministic *across platforms*:
+    the factors come from one ``np.random.default_rng(seed)`` (PCG64),
+    whose ``uniform`` stream is specified bit-exactly by NumPy
+    independent of OS and word size, so ``repro sweep --scenarios
+    random:<n>:<seed>`` names the same workload everywhere
+    (``tests/test_cli.py`` pins the stream).  Seeds must be
+    non-negative (``default_rng`` rejects negative ones).  Usable for
+    the Table-3 suite cases and streamed ibmpg-style decks alike.
     """
     if not 0.0 < spread < 1.0:
         raise ValueError(f"spread must be in (0, 1), got {spread!r}")

@@ -193,7 +193,9 @@ class SimulationPlan:
             self.system, self.decomposition, self.max_nodes, self.t_end
         )
 
-    def compile(self, prime: bool = True) -> "CompiledPlan":
+    def compile(
+        self, prime: bool = True, rom: "RomConfig | None" = None
+    ) -> "CompiledPlan":
         """Perform the reusable work exactly once; freeze the outcome.
 
         Parameters
@@ -205,6 +207,18 @@ class SimulationPlan:
             on a :class:`~repro.dist.executors.MultiprocessExecutor`,
             whose worker *processes* must (and do) prime their own
             caches on first use.
+        rom:
+            Optional :class:`repro.rom.RomConfig`.  When given, the
+            compile additionally projects the pencil onto a rational
+            Krylov subspace (reusing the cache's ``G`` and γ-pencil
+            factorisations) and bakes the resulting
+            :class:`~repro.rom.ReducedModel` into the compiled plan;
+            :meth:`Session.sweep <repro.plan.session.Session.sweep>`
+            then answers scenarios from it, falling back to the
+            full-order path per scenario when the posterior error
+            bound exceeds ``rom.tol``.  A build failure degrades
+            gracefully: the plan compiles without a model and records
+            the reason in ``rom_error``.
 
         Returns
         -------
@@ -251,6 +265,33 @@ class SimulationPlan:
             # time so no sweep session pays the one-off level build.
             lu_g.prime_kernel(wide=True)
 
+        reduced = None
+        rom_error: str | None = None
+        if rom is not None:
+            from repro.rom import RomBuildError, build_reduced_model
+
+            try:
+                reduced = build_reduced_model(
+                    self.system, self.options, self.t_end, rom
+                )
+            except RomBuildError as exc:
+                rom_error = str(exc)
+            else:
+                # Reduced models live outside the LRU (dense NumPy
+                # state, not SuperLU factors) but belong in the same
+                # byte ledger; re-compiling the same pencil/config
+                # overwrites its ledger entry instead of accumulating.
+                FACTORIZATION_CACHE.register_external(
+                    "rom:" + "-".join((
+                        matrix_fingerprint(self.system.C)[:16],
+                        matrix_fingerprint(self.system.G)[:16],
+                        matrix_fingerprint(self.system.B)[:16],
+                        f"{self.options.gamma:.12e}",
+                        f"q{rom.q_max}m{rom.moments}",
+                    )),
+                    reduced.resident_bytes(),
+                )
+
         stats1 = FACTORIZATION_CACHE.stats()
         return CompiledPlan(
             system=self.system,
@@ -269,6 +310,8 @@ class SimulationPlan:
             cache_hits=stats1["hits"] - stats0["hits"],
             cache_misses=stats1["misses"] - stats0["misses"],
             cache_evictions=stats1["evictions"] - stats0["evictions"],
+            rom=reduced,
+            rom_error=rom_error,
         )
 
 
@@ -307,6 +350,17 @@ class CompiledPlan:
         Process-wide factor-cache traffic attributable to the compile;
         a session reports these on its first result, mirroring how
         workers attribute construction traffic.
+    rom:
+        The baked :class:`~repro.rom.ReducedModel`, or ``None`` when
+        the plan was compiled without ``rom=`` (or the build failed).
+        Dense NumPy state throughout, so the model pickles with the
+        plan and is shared verbatim by multiprocess executors; its
+        footprint is reported through the factorisation cache's
+        ``external_bytes`` ledger.
+    rom_error:
+        Human-readable reason the requested reduced model could not be
+        built (``None`` when no model was requested or the build
+        succeeded); the plan stays fully usable full-order.
     """
 
     system: MNASystem
@@ -325,6 +379,8 @@ class CompiledPlan:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    rom: object | None = None
+    rom_error: str | None = None
     _fingerprint: str | None = field(
         default=None, repr=False, compare=False
     )
@@ -352,8 +408,15 @@ class CompiledPlan:
         return self._fingerprint
 
     def summary(self) -> str:
-        """One-line human digest (used by the sweep CLI)."""
-        return (
+        """One-line human digest (used by the sweep CLI).
+
+        When the plan carries a reduced model the line is extended
+        with the model's own summary (reduced dimension ``q``,
+        deflation counts, tolerance, resident bytes and build time);
+        when a requested model could not be built it is extended with
+        ``rom unavailable: <reason>`` instead.
+        """
+        line = (
             f"compiled plan: {self.n_nodes} nodes "
             f"[{self.decomposition}], {len(self.global_points)} GTS "
             f"points, t_end={self.t_end:g}s, "
@@ -361,3 +424,8 @@ class CompiledPlan:
             f"(dc {self.dc_seconds * 1e3:.1f} ms, "
             f"cache {self.cache_hits}h/{self.cache_misses}m)"
         )
+        if self.rom is not None:
+            line += f"; {self.rom.summary()}"
+        elif self.rom_error is not None:
+            line += f"; rom unavailable: {self.rom_error}"
+        return line

@@ -32,6 +32,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.circuit.mna import MNASystem
+from repro.core.results import TransientResult
+from repro.core.stats import SolverStats
 from repro.core.superposition import superpose
 from repro.dist.executors import Executor, SerialExecutor
 from repro.dist.messages import DistributedResult, SimulationTask
@@ -112,6 +114,10 @@ class Session:
         self._pending_misses = compiled.cache_misses
         self._pending_evictions = compiled.cache_evictions
         self.n_scenarios_run = 0
+        # Reduced-order tier tallies (see ``sweep(rom=...)``): scenarios
+        # answered inside the posterior bound vs. re-run full-order.
+        self.rom_accepted = 0
+        self.rom_fallbacks = 0
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -219,14 +225,23 @@ class Session:
 
     # -- execution ---------------------------------------------------------------
 
-    def run(self, scenario: Scenario | None = None) -> DistributedResult:
-        """Execute one scenario (``None`` = the plan's base waveforms)."""
-        return self.sweep([scenario])[0]
+    def run(
+        self, scenario: Scenario | None = None, rom=False
+    ) -> DistributedResult:
+        """Execute one scenario (``None`` = the plan's base waveforms).
+
+        Single runs default to ``rom=False`` — the full-order,
+        bit-reproducible path — even when the compiled plan carries a
+        reduced model; pass ``rom=None``/``True`` to opt in (see
+        :meth:`sweep`, whose amortisation argument single runs lack).
+        """
+        return self.sweep([scenario], rom=rom)[0]
 
     def sweep(
         self,
         scenarios: Iterable[Scenario | None],
         stack="auto",
+        rom=None,
     ) -> list[DistributedResult]:
         """Execute a stream of scenarios, results in input order.
 
@@ -246,17 +261,44 @@ class Session:
             wide ones; an explicit integer overrides it (each stacked
             scenario holds ``n_nodes`` dense ``(K × dim)`` deviation
             blocks until superposition).
+        rom:
+            Reduced-order tier policy.  ``None`` (default) answers from
+            the compiled plan's :class:`~repro.rom.ReducedModel` when
+            one was baked in (``compile(rom=...)``) and runs full-order
+            otherwise; ``False`` forces the full-order path; ``True``
+            requires the model and raises :class:`PlanError` (with the
+            recorded build-failure reason) when the plan has none.
+            Scenarios whose posterior bound exceeds the model's
+            tolerance transparently fall back to the full-order path;
+            every result records what happened in its
+            ``rom_dim``/``rom_bound``/``rom_fallback`` fields.
 
         Returns
         -------
         list[DistributedResult]
-            One result per scenario, each bit-identical to an
-            independent cold run of the scenario-bound system.
+            One result per scenario.  Full-order results (including
+            reduced-tier fallbacks) are bit-identical to an independent
+            cold run of the scenario-bound system; reduced-tier answers
+            carry a certified posterior error bound instead.
         """
         scenario_list = [
             s if s is not None else Scenario() for s in scenarios
         ]
         bound_list = [self._validate(s) for s in scenario_list]
+
+        model = self.compiled.rom if rom in (None, True) else None
+        if rom is True and model is None:
+            reason = (
+                self.compiled.rom_error
+                or "the plan was compiled without rom="
+            )
+            raise PlanError(
+                f"rom=True but the compiled plan carries no reduced "
+                f"model: {reason}"
+            )
+        if model is not None:
+            return self._sweep_rom(model, scenario_list, bound_list, stack)
+
         chunk = _resolve_stack(
             stack, len(scenario_list), self.compiled.n_nodes
         )
@@ -270,6 +312,108 @@ class Session:
                     bound_list[start:start + chunk],
                 )
             )
+        return results
+
+    def _sweep_rom(
+        self,
+        model,
+        scenarios: Sequence[Scenario],
+        bound_systems: Sequence[MNASystem | None],
+        stack,
+    ) -> list[DistributedResult]:
+        """Answer scenarios from the reduced model, falling back per
+        scenario when the posterior bound rejects the answer.
+
+        Fallbacks are collected and re-run through the ordinary stacked
+        full-order path (so a high-fallback sweep still gets the
+        lockstep amortisation), then spliced back in input order.
+        """
+        compiled = self.compiled
+        results: list[DistributedResult | None] = [None] * len(scenarios)
+        fallback_idx: list[int] = []
+        fallback_bounds: dict[int, float] = {}
+
+        # Reduced answers never touch the factor cache, so grab the
+        # pending compile-time traffic up front and attribute it to the
+        # sweep's first result, whichever tier produced it.
+        pend = (
+            self._pending_hits,
+            self._pending_misses,
+            self._pending_evictions,
+        )
+        self._pending_hits = 0
+        self._pending_misses = 0
+        self._pending_evictions = 0
+
+        for i, (scenario, bound) in enumerate(
+            zip(scenarios, bound_systems)
+        ):
+            U = model.input_matrix(scenario, bound)
+            ans = model.answer(U)
+            if not ans.accepted:
+                fallback_idx.append(i)
+                fallback_bounds[i] = ans.bound_rel
+                continue
+            system = bound if bound is not None else compiled.system
+            trajectory = TransientResult(
+                system=system,
+                times=model.grid,
+                states=ans.states,
+                stats=SolverStats(
+                    n_steps=model.n_points - 1,
+                    transient_seconds=ans.seconds,
+                ),
+                method=f"rom[q={model.dim}]",
+            )
+            results[i] = DistributedResult(
+                result=trajectory,
+                n_nodes=0,
+                node_stats=(),
+                scenario=(
+                    None if scenario.is_baseline else scenario.name
+                ),
+                rom_dim=model.dim,
+                rom_bound=ans.bound_rel,
+                rom_fallback=False,
+            )
+            self.rom_accepted += 1
+            self.n_scenarios_run += 1
+
+        if fallback_idx:
+            self._ensure_prepared()
+            chunk = _resolve_stack(
+                stack, len(fallback_idx), compiled.n_nodes
+            )
+            for start in range(0, len(fallback_idx), chunk):
+                idx = fallback_idx[start:start + chunk]
+                full = self._run_chunk(
+                    [scenarios[i] for i in idx],
+                    [bound_systems[i] for i in idx],
+                )
+                for i, r in zip(idx, full):
+                    results[i] = replace(
+                        r,
+                        rom_dim=model.dim,
+                        rom_bound=fallback_bounds[i],
+                        rom_fallback=True,
+                    )
+            self.rom_fallbacks += len(fallback_idx)
+
+        if results and any(pend):
+            first = results[0]
+            results[0] = replace(
+                first,
+                factor_cache_hits=first.factor_cache_hits + pend[0],
+                factor_cache_misses=(
+                    first.factor_cache_misses + pend[1]
+                ),
+                factor_cache_evictions=(
+                    first.factor_cache_evictions + pend[2]
+                ),
+            )
+        elif any(pend):
+            self._pending_hits, self._pending_misses, \
+                self._pending_evictions = pend
         return results
 
     def _run_chunk(

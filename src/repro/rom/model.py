@@ -1,0 +1,429 @@
+"""Reduced-order transient model with a posterior residual bound.
+
+``build_reduced_model`` compresses the descriptor system
+``C x' = -G x + B u(t)`` onto the block rational-Krylov subspace of
+:mod:`repro.rom.projector` and precomputes everything a scenario sweep
+needs, so answering one scenario is a few dense BLAS products of size
+``q`` instead of a full-order MATEX march:
+
+**Passive projection.**  MNA as stamped here is symmetric but
+indefinite (voltage-source and inductor branch rows), and a Galerkin
+projection of an indefinite pencil can produce an *unstable* reduced
+system even though the circuit is passive.  Negating the branch-current
+rows — a pure row scaling that changes no solution — yields the
+passive form ``C ⪰ 0``, ``G + Gᵀ ⪰ 0``, for which the projected pencil
+``(V'CV, V'GV)`` provably keeps every finite eigenvalue in the closed
+left half-plane.
+
+**γ-regularised modal march.**  The reduced pencil is diagonalised
+through ``M = (Ĉ + γĜ)^-1 Ĉ`` — the reduced twin of the R-MATEX
+rational operator ``(C + γG)^-1 C``.  Its eigenvalues map to pencil
+eigenvalues via ``λ = (1 - 1/μ)/γ``; algebraic (singular-``Ĉ``)
+directions arrive as ``μ → 0`` and are sent to enormously negative
+exponents, exactly how the full-order path treats singular Hessenberg
+blocks.  Per distinct segment width ``h`` (the frozen GTS grid has few)
+three diagonal propagator vectors are tabulated, so one scenario's
+march over the grid is ``K`` small elementwise updates — **exact** for
+the piecewise-linear inputs between transition spots, the same
+assumption the full-order integrator makes.  The identities
+``F/μ = F(1 - γλ)`` and ``h φ1(hλ)/μ = γ(1 - e^{hλ})/(1 - μ)`` keep
+every coefficient finite without ever dividing by a vanishing ``μ``.
+
+**Posterior bound.**  Each answered scenario gets a residual-based
+error indicator: with ``v(t) = V w(t)`` the lifted reduced trajectory,
+the defect ``r(t) = B ũ - C v̇ - G v`` is mapped through ``G^-1`` (the
+quasi-static error amplification of a stiff PDN) and the reported
+bound is ``safety · max_t ‖G^-1 r(t)‖∞`` over the grid.  The error
+``e = x - v`` solves ``C ė = -G e + r`` with ``e(0) = 0``, for which
+the grid maximum of ``‖G^-1 r‖`` is the natural stiff-limit estimate;
+the ``safety`` factor covers inter-grid excursions and transient
+overshoot of that estimate.  Scenarios whose *relative* bound exceeds
+``tol`` are transparently re-run on the full-order path by
+:meth:`repro.plan.Session.sweep` — the tier accelerates, it never
+silently degrades.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.circuit.mna import MNASystem
+from repro.core.options import SolverOptions
+from repro.linalg.lu import FACTORIZATION_CACHE
+from repro.rom.projector import BasisInfo, RomBuildError, rational_krylov_basis
+
+__all__ = ["RomConfig", "RomAnswer", "ReducedModel", "build_reduced_model"]
+
+#: Below this |μ| a reduced mode is treated as purely algebraic: its
+#: exponent is floored (λ ~ -1/(γ·μ_floor)) so the propagators evaluate
+#: in their quasi-static limit instead of overflowing.
+MU_FLOOR = 1e-8
+
+
+@dataclass(frozen=True)
+class RomConfig:
+    """Accuracy/size knobs of the reduced-order sweep tier.
+
+    Attributes
+    ----------
+    tol:
+        Acceptance threshold on the **relative** posterior bound (the
+        absolute bound divided by the scenario's response scale).  A
+        scenario above it falls back to the full-order path.
+    q_max:
+        Reduced-dimension cap handed to the projector.
+    moments:
+        Rational Krylov moment blocks in the basis (see
+        :func:`repro.rom.projector.rational_krylov_basis`).
+    deflation_tol:
+        Relative pivot threshold for QR deflation of dependent
+        candidate columns.
+    safety:
+        Multiplier on the raw residual indicator; the *reported* bound
+        is ``safety × max‖G^-1 r‖∞``.  The indicator empirically tracks
+        the true error to within a few percent on PDN workloads
+        (``benchmarks/bench_rom.py`` asserts it), so the default 2.0 is
+        a conservative margin, not a fudge looking for tuning.
+    """
+
+    tol: float = 0.05
+    q_max: int = 200
+    moments: int = 2
+    deflation_tol: float = 1e-10
+    safety: float = 2.0
+
+    def __post_init__(self):
+        if not self.tol > 0.0:
+            raise ValueError(f"tol must be positive, got {self.tol!r}")
+        if self.q_max < 1:
+            raise ValueError(f"q_max must be >= 1, got {self.q_max}")
+        if self.moments < 1:
+            raise ValueError(f"moments must be >= 1, got {self.moments}")
+        if not 0.0 < self.deflation_tol < 1.0:
+            raise ValueError(
+                f"deflation_tol must be in (0, 1), "
+                f"got {self.deflation_tol!r}"
+            )
+        if self.safety < 1.0:
+            raise ValueError(
+                f"safety must be >= 1 (a bound may not shrink the "
+                f"indicator), got {self.safety!r}"
+            )
+
+
+@dataclass(frozen=True, eq=False)
+class RomAnswer:
+    """One scenario answered in reduced space.
+
+    ``states`` is the lifted ``(K, dim)`` trajectory on the plan's GTS
+    grid; ``bound_abs``/``bound_rel`` the posterior error bound (already
+    including the configured safety factor); ``accepted`` whether the
+    relative bound met the tolerance (callers fall back otherwise).
+    """
+
+    states: np.ndarray
+    bound_abs: float
+    bound_rel: float
+    accepted: bool
+    seconds: float
+
+
+@dataclass(frozen=True, eq=False)
+class ReducedModel:
+    """Precomputed reduced-order sweep answerer (picklable).
+
+    Every field is a plain array/dict, so a compiled plan carrying the
+    model ships to executor processes unchanged.  All heavy operators
+    (``V``, ``G^-1 B``, the modal tables) are baked in at build time;
+    :meth:`answer` performs only dense products.
+    """
+
+    config: RomConfig
+    gamma: float
+    n_full: int
+    n_inputs: int
+    grid: np.ndarray                 # (K,) global transition spots
+    mu: np.ndarray                   # (q,) complex eigenvalues of M
+    lam: np.ndarray                  # (q,) mapped pencil exponents
+    F_re: np.ndarray                 # (q, p) modal input map, real part
+    F_im: np.ndarray                 # (q, p) … imaginary part
+    VX: np.ndarray                   # (n, q) complex modal lift  V·X
+    YX: np.ndarray                   # (n, q) complex  (G^-1 C V)·X
+    W: np.ndarray                    # (n, p) quasi-static responses G^-1 B
+    U_base: np.ndarray               # (p, K) base inputs on the grid
+    tables: dict                     # h -> (a, b, c) diagonal propagators
+    basis: BasisInfo
+    build_seconds: float
+    constant_columns: np.ndarray = field(repr=False)
+
+    # -- geometry ----------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Reduced dimension ``q``."""
+        return int(self.mu.shape[0])
+
+    @property
+    def n_points(self) -> int:
+        """Grid length ``K``."""
+        return int(self.grid.shape[0])
+
+    def resident_bytes(self) -> int:
+        """Bytes pinned by the model's dense operators and tables."""
+        total = (
+            self.mu.nbytes + self.lam.nbytes + self.F_re.nbytes
+            + self.F_im.nbytes + self.VX.nbytes + self.YX.nbytes
+            + self.W.nbytes + self.U_base.nbytes + self.grid.nbytes
+            + self.constant_columns.nbytes
+        )
+        for abc in self.tables.values():
+            total += sum(v.nbytes for v in abc)
+        return int(total)
+
+    # -- scenario inputs ---------------------------------------------------------
+
+    def input_matrix(self, scenario=None, bound: MNASystem | None = None):
+        """The ``(p, K)`` input values a scenario puts on the grid.
+
+        Amplitude-only scenarios are served by row-scaling the baked
+        base matrix; waveform overrides re-evaluate just the changed
+        columns from the scenario-bound system.
+        """
+        if scenario is None or scenario.is_baseline:
+            return self.U_base
+        if not scenario.overrides:
+            svec = np.ones(self.n_inputs)
+            for col, factor in scenario.scales:
+                svec[col] = factor
+            return self.U_base * svec[:, None]
+        if bound is None:
+            raise ValueError(
+                "scenarios with waveform overrides need the bound "
+                "system to re-evaluate the changed columns"
+            )
+        U = self.U_base.copy()
+        for col in scenario.changed_columns:
+            U[col] = bound.waveforms[col].values_array(self.grid)
+        return U
+
+    # -- the reduced march -------------------------------------------------------
+
+    def answer(self, U: np.ndarray) -> RomAnswer:
+        """March one scenario entirely in reduced space.
+
+        Parameters
+        ----------
+        U:
+            Input values on the grid, shape ``(n_inputs, K)`` (see
+            :meth:`input_matrix`).
+
+        Returns
+        -------
+        RomAnswer
+            Lifted trajectory + posterior bound.  ``accepted`` is the
+            caller's cue to keep it or fall back.
+        """
+        t0 = time.perf_counter()
+        K = self.n_points
+        q = self.dim
+        grid = self.grid
+
+        # Deviation inputs ũ = u - u(0): the march starts from the
+        # scenario's DC point, so the reduced state starts at zero and
+        # the initial error is exactly zero.
+        Ut = U - U[:, :1]
+        qs = self.W @ Ut                       # quasi-static responses
+        x_dc = self.W @ U[:, 0]                # scenario DC point  G^-1 B u(0)
+
+        FU = self.F_re @ Ut + 1j * (self.F_im @ Ut)
+        Y = np.empty((q, K), dtype=complex)
+        y = np.zeros(q, dtype=complex)
+        Y[:, 0] = y
+        for i in range(K - 1):
+            h = grid[i + 1] - grid[i]
+            a, b, c = self.tables[h]
+            d = (FU[:, i + 1] - FU[:, i]) / h
+            y = a * y + b * FU[:, i] + c * d
+            Y[:, i + 1] = y
+
+        dev = (self.VX @ Y).real               # lifted deviation (n, K)
+
+        # Modal derivatives, singular-μ-safe:  ẏ = λ(y - γFũ) + Fũ.
+        Ydot = self.lam[:, None] * (Y - self.gamma * FU) + FU
+        res = qs - (self.YX @ Ydot).real - dev
+        bound_abs = self.config.safety * float(np.abs(res).max(initial=0.0))
+        scale = max(
+            float(np.abs(qs).max(initial=0.0)),
+            float(np.abs(dev).max(initial=0.0)),
+        )
+        bound_rel = bound_abs / scale if scale > 0.0 else 0.0
+
+        states = (x_dc[:, None] + dev).T
+        return RomAnswer(
+            states=states,
+            bound_abs=bound_abs,
+            bound_rel=bound_rel,
+            accepted=bound_rel <= self.config.tol,
+            seconds=time.perf_counter() - t0,
+        )
+
+    def summary(self) -> str:
+        """One-line digest for CLI/bench reporting."""
+        b = self.basis
+        return (
+            f"reduced model: q={self.dim} of n={self.n_full} "
+            f"({b.n_candidates} candidates, {b.n_deflated} deflated"
+            f"{', capped' if b.truncated else ''}), "
+            f"{len(self.tables)} segment widths, "
+            f"tol {self.config.tol:g}, safety {self.config.safety:g}, "
+            f"{self.resident_bytes() / 2**20:.1f} MiB, "
+            f"build {self.build_seconds * 1e3:.0f} ms"
+        )
+
+
+def _segment_tables(
+    grid: np.ndarray, lam: np.ndarray, mu: np.ndarray, gamma: float
+) -> dict:
+    """Diagonal propagators ``(a, b, c)`` per distinct segment width.
+
+    The exact piecewise-linear-input update in modal coordinates is::
+
+        y⁺ = a ⊙ y + b ⊙ (F u_i) + c ⊙ (F d_i)      d_i = (u_{i+1}-u_i)/h
+
+    with ``a = e^{hλ}``, ``b = h φ1(hλ)/μ`` and ``c = h² φ2(hλ)/μ``.
+    The μ divisions are folded away through ``λμ = -(1-μ)/γ``::
+
+        b = γ (1 - e^{hλ}) / (1 - μ)
+        c = γ (hλ + 1 - e^{hλ}) / (λ (1 - μ))
+
+    so algebraic directions (μ → 0, λ → -∞) evaluate smoothly to their
+    quasi-static limits ``a → 0``, ``b → γ/(1-μ)``, ``c → γh/(1-μ)``
+    instead of dividing by zero, and the small-``hλ`` branch switches
+    to a series to dodge cancellation.
+    """
+    tables: dict = {}
+    one_minus_mu = 1.0 - mu
+    for h in sorted({float(w) for w in np.diff(grid)}):
+        z = h * lam
+        # λ ≤ 0 by construction, so exp never overflows.
+        a = np.exp(z)
+        b = gamma * (1.0 - a) / one_minus_mu
+        small = np.abs(z) < 1e-5
+        lam_safe = np.where(small, 1.0, lam)
+        with np.errstate(invalid="ignore"):
+            c_big = gamma * (z + 1.0 - a) / (lam_safe * one_minus_mu)
+        c_small = -gamma * h * z * (0.5 + z / 6.0 + z * z / 24.0) \
+            / one_minus_mu
+        c = np.where(small, c_small, c_big)
+        tables[h] = (a, b, c)
+    return tables
+
+
+def build_reduced_model(
+    system: MNASystem,
+    options: SolverOptions,
+    t_end: float,
+    config: RomConfig,
+) -> ReducedModel:
+    """Project ``system`` onto the rational-Krylov subspace and bake
+    the scenario answerer.
+
+    Raises :class:`~repro.rom.projector.RomBuildError` when no sound
+    reduced model can be built — callers (``SimulationPlan.compile``)
+    degrade to the full-order path and report why.
+    """
+    t0 = time.perf_counter()
+    gamma = options.gamma
+    n = system.dim
+    p = system.n_inputs
+    C, G = system.C, system.G
+
+    V, info = rational_krylov_basis(
+        C, G, system.B, gamma,
+        moments=config.moments,
+        q_max=config.q_max,
+        deflation_tol=config.deflation_tol,
+    )
+
+    # Passive form: negate every branch-current row (voltage sources and
+    # inductors live past the node block).  A row scaling changes no
+    # solution, but it makes Ĉ ⪰ 0 and sym(Ĝ) ⪰ 0, which is what keeps
+    # the projected pencil provably stable.
+    n_nodes = system.netlist.n_nodes
+    if n_nodes < n:
+        d = np.ones(n)
+        d[n_nodes:] = -1.0
+        D = sp.diags(d)
+        Cf, Gf, Bf = (D @ C).tocsc(), (D @ G).tocsc(), D @ system.B
+    else:
+        Cf, Gf, Bf = C, G, system.B
+    Bf = np.asarray(
+        Bf.todense() if sp.issparse(Bf) else Bf, dtype=float
+    )
+
+    Ch = V.T @ (Cf @ V)
+    Gh = V.T @ (Gf @ V)
+    Bh = V.T @ Bf
+    Sh = Ch + gamma * Gh
+    try:
+        import scipy.linalg as sla
+
+        lu_sh = sla.lu_factor(Sh)
+        M = sla.lu_solve(lu_sh, Ch)
+        mu, X = np.linalg.eig(M)
+        F = np.linalg.solve(X, sla.lu_solve(lu_sh, Bh))
+    except Exception as exc:
+        raise RomBuildError(
+            f"reduced pencil diagonalisation failed: {exc}"
+        ) from exc
+    if not (np.all(np.isfinite(mu)) and np.all(np.isfinite(F))):
+        raise RomBuildError(
+            "reduced modal decomposition produced non-finite values"
+        )
+
+    # μ → λ through the rational map; floor algebraic modes and clamp
+    # rounding-level stability violations (exactly zero in exact
+    # arithmetic for the passive form).
+    mu_c = np.where(np.abs(mu) < MU_FLOOR, MU_FLOOR, mu)
+    lam = (1.0 - 1.0 / mu_c) / gamma
+    lam = np.where(lam.real > 0.0, 1j * lam.imag, lam)
+
+    lu_g = FACTORIZATION_CACHE.factor(G, label="G(rom)")
+    W = np.asarray(lu_g.solve_many(
+        np.asarray(system.B.todense(), dtype=float, order="F")
+    ))
+    VX = V.astype(complex) @ X
+    YX = np.asarray(lu_g.solve_many(np.asarray(C @ V))) @ X
+
+    grid = np.asarray(system.global_transition_spots(t_end), dtype=float)
+    U_base = np.empty((p, grid.shape[0]))
+    constant = np.empty(p, dtype=bool)
+    for k, w in enumerate(system.waveforms):
+        U_base[k] = w.values_array(grid)
+        constant[k] = w.is_constant()
+
+    tables = _segment_tables(grid, lam, mu_c, gamma)
+
+    return ReducedModel(
+        config=config,
+        gamma=gamma,
+        n_full=n,
+        n_inputs=p,
+        grid=grid,
+        mu=mu_c,
+        lam=lam,
+        F_re=np.ascontiguousarray(F.real),
+        F_im=np.ascontiguousarray(F.imag),
+        VX=VX,
+        YX=YX,
+        W=W,
+        U_base=U_base,
+        tables=tables,
+        basis=info,
+        build_seconds=time.perf_counter() - t0,
+        constant_columns=constant,
+    )

@@ -1,0 +1,303 @@
+"""Reduced-order tier tests (repro.rom + its plan/session wiring).
+
+Covers the ISSUE-7 contracts:
+
+* the block rational-Krylov projector deflates rank-deficient and
+  duplicated input blocks cleanly (property test over random low-rank
+  ``B``),
+* accepted reduced answers sit inside their certified absolute bound
+  (checked against the full-order trajectory),
+* rejected scenarios transparently fall back to the full-order path,
+  bit-identical and order-preserving,
+* a `ReducedModel` pickles with its compiled plan and answers
+  bit-identically after the roundtrip,
+* a build failure degrades the compile gracefully (``rom_error``).
+"""
+
+import pickle
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.options import SolverOptions
+from repro.linalg.lu import FACTORIZATION_CACHE
+from repro.plan import PlanError, Scenario, Session, SimulationPlan
+from repro.rom import (
+    RomAnswer,
+    RomBuildError,
+    RomConfig,
+    build_reduced_model,
+    rational_krylov_basis,
+)
+
+OPTS = SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-8)
+T_END = 1e-9
+GAMMA = OPTS.gamma
+
+
+def _compile(system, rom=None):
+    return SimulationPlan(system, OPTS, t_end=T_END).compile(rom=rom)
+
+
+class TestProjectorDeflation:
+    def test_orthonormal_basis(self, mesh_system):
+        V, info = rational_krylov_basis(
+            mesh_system.C, mesh_system.G, mesh_system.B, GAMMA
+        )
+        assert V.shape == (mesh_system.dim, info.rank)
+        np.testing.assert_allclose(
+            V.T @ V, np.eye(V.shape[1]), atol=1e-12
+        )
+
+    def test_duplicated_columns_deflate(self, mesh_system):
+        """Repeating every input column must not grow the basis."""
+        Bd = np.asarray(mesh_system.B.todense())
+        Bdup = np.concatenate([Bd, Bd, Bd], axis=1)
+        V1, info1 = rational_krylov_basis(
+            mesh_system.C, mesh_system.G, Bd, GAMMA
+        )
+        V3, info3 = rational_krylov_basis(
+            mesh_system.C, mesh_system.G, Bdup, GAMMA
+        )
+        assert info3.rank == info1.rank
+        assert info3.n_candidates == 3 * info1.n_candidates
+        assert info3.n_deflated >= 2 * info1.rank
+        np.testing.assert_allclose(
+            V3.T @ V3, np.eye(V3.shape[1]), atol=1e-12
+        )
+
+    def test_random_low_rank_b_property(self, mesh_system, rng):
+        """rank(basis) <= (moments + 1) * rank(B), at any width."""
+        n = mesh_system.dim
+        for r in (1, 2, 4):
+            for _ in range(3):
+                B = rng.normal(size=(n, r)) @ rng.normal(size=(r, 11))
+                V, info = rational_krylov_basis(
+                    mesh_system.C, mesh_system.G, B, GAMMA, moments=2
+                )
+                assert info.rank == V.shape[1]
+                assert info.rank <= 3 * r
+                assert info.n_candidates == 3 * 11
+                np.testing.assert_allclose(
+                    V.T @ V, np.eye(V.shape[1]), atol=1e-10
+                )
+
+    def test_zero_input_block_raises(self, mesh_system):
+        with pytest.raises(RomBuildError, match="zero"):
+            rational_krylov_basis(
+                mesh_system.C, mesh_system.G,
+                np.zeros((mesh_system.dim, 3)), GAMMA,
+            )
+
+    def test_q_max_caps_and_reports_truncation(self, mesh_system):
+        V, info = rational_krylov_basis(
+            mesh_system.C, mesh_system.G, mesh_system.B, GAMMA, q_max=2
+        )
+        assert V.shape[1] == 2 and info.rank == 2 and info.truncated
+
+
+class TestRomConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"tol": 0.0}, {"tol": -1.0}, {"q_max": 0}, {"moments": 0},
+        {"deflation_tol": 0.0}, {"deflation_tol": 1.0}, {"safety": 0.5},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            RomConfig(**kwargs)
+
+
+class TestCompileWiring:
+    def test_compile_bakes_model_and_summary(self, mesh_system):
+        compiled = _compile(mesh_system, rom=RomConfig())
+        assert compiled.rom is not None and compiled.rom_error is None
+        assert compiled.rom.dim <= RomConfig().q_max
+        assert "reduced model:" in compiled.summary()
+
+    def test_compile_without_rom_has_none(self, mesh_system):
+        compiled = _compile(mesh_system)
+        assert compiled.rom is None and compiled.rom_error is None
+        assert "reduced model:" not in compiled.summary()
+
+    def test_build_failure_degrades_to_full_order(
+        self, mesh_system, monkeypatch
+    ):
+        import repro.rom as rom_pkg
+
+        def boom(*args, **kwargs):
+            raise RomBuildError("synthetic failure")
+
+        monkeypatch.setattr(rom_pkg, "build_reduced_model", boom)
+        compiled = _compile(mesh_system, rom=RomConfig())
+        assert compiled.rom is None
+        assert "synthetic failure" in compiled.rom_error
+        assert "rom unavailable: synthetic failure" in compiled.summary()
+        with Session(compiled) as session:
+            with pytest.raises(PlanError, match="synthetic failure"):
+                session.sweep([None], rom=True)
+            result = session.run()  # the full-order path still works
+            assert result.rom_dim is None
+
+    def test_model_bytes_in_external_ledger(self, mesh_system):
+        compiled = _compile(mesh_system, rom=RomConfig())
+        assert (FACTORIZATION_CACHE.stats()["external_bytes"]
+                >= compiled.rom.resident_bytes())
+
+    def test_register_external_overwrites_and_unregisters(self):
+        stats = FACTORIZATION_CACHE.stats
+        base = stats()["external_bytes"]
+        FACTORIZATION_CACHE.register_external("test:ledger", 1000)
+        assert stats()["external_bytes"] == base + 1000
+        FACTORIZATION_CACHE.register_external("test:ledger", 400)
+        assert stats()["external_bytes"] == base + 400
+        FACTORIZATION_CACHE.unregister_external("test:ledger")
+        assert stats()["external_bytes"] == base
+
+
+class TestSessionRouting:
+    def test_accepted_answer_sits_inside_its_bound(self, mesh_system):
+        compiled = _compile(mesh_system, rom=RomConfig(tol=0.9))
+        model = compiled.rom
+        scenarios = [
+            None,
+            Scenario(name="hot", scales={0: 1.4, 1: 0.8}),
+            Scenario(name="cool", scales={0: 0.6}),
+        ]
+        with Session(compiled) as session:
+            rom_results = session.sweep(scenarios)
+            full_results = session.sweep(scenarios, rom=False)
+        assert session.rom_accepted == 3 and session.rom_fallbacks == 0
+        for sc, r, f in zip(scenarios, rom_results, full_results):
+            assert r.rom_dim == model.dim and not r.rom_fallback
+            assert r.result.method == f"rom[q={model.dim}]"
+            ans = model.answer(model.input_matrix(sc, None))
+            err = float(
+                np.abs(r.result.states - f.result.states).max()
+            )
+            assert err <= ans.bound_abs
+            assert r.rom_bound == ans.bound_rel <= 0.9
+
+    def test_rejected_scenarios_fall_back_bit_identically(
+        self, mesh_system
+    ):
+        compiled = _compile(mesh_system, rom=RomConfig(tol=1e-13))
+        scenarios = [Scenario(name="hot", scales={0: 1.3}), None]
+        with Session(compiled) as session:
+            rom_results = session.sweep(scenarios)
+            full_results = session.sweep(scenarios, rom=False)
+        assert session.rom_fallbacks == 2 and session.rom_accepted == 0
+        for r, f in zip(rom_results, full_results):
+            assert r.rom_fallback and r.rom_dim == compiled.rom.dim
+            assert r.rom_bound > 1e-13
+            assert (r.result.states.tobytes()
+                    == f.result.states.tobytes())
+
+    def test_mixed_sweep_preserves_input_order(self, mesh_system):
+        """Fallbacks are re-run stacked, then spliced back in order."""
+        compiled = _compile(mesh_system, rom=RomConfig(tol=0.9))
+
+        class RejectSome:
+            """Duck-typed model: rejects every second consultation."""
+
+            def __init__(self, model):
+                self._model = model
+                self._calls = 0
+                self.dim = model.dim
+                self.grid = model.grid
+                self.n_points = model.n_points
+
+            def input_matrix(self, scenario, bound):
+                return self._model.input_matrix(scenario, bound)
+
+            def answer(self, U):
+                ans = self._model.answer(U)
+                self._calls += 1
+                if self._calls % 2 == 0:
+                    return RomAnswer(
+                        states=ans.states, bound_abs=ans.bound_abs,
+                        bound_rel=1.0, accepted=False,
+                        seconds=ans.seconds,
+                    )
+                return ans
+
+        rigged = replace(compiled, rom=RejectSome(compiled.rom))
+        names = [f"s{i}" for i in range(5)]
+        scenarios = [
+            Scenario(name=nm, scales={0: 1.0 + 0.05 * i})
+            for i, nm in enumerate(names)
+        ]
+        with Session(rigged) as session:
+            results = session.sweep(scenarios)
+            assert session.rom_accepted == 3
+            assert session.rom_fallbacks == 2
+        assert [r.scenario for r in results] == names
+        assert [r.rom_fallback for r in results] == [
+            False, True, False, True, False,
+        ]
+        for r in results:
+            assert r.rom_dim == compiled.rom.dim
+
+    def test_run_defaults_to_full_order(self, mesh_system):
+        compiled = _compile(mesh_system, rom=RomConfig(tol=0.9))
+        with Session(compiled) as session:
+            result = session.run()
+        assert result.rom_dim is None and not result.rom_fallback
+
+    def test_rom_true_without_model_raises(self, mesh_system):
+        compiled = _compile(mesh_system)
+        with Session(compiled) as session:
+            with pytest.raises(PlanError, match="no reduced model"):
+                session.sweep([None], rom=True)
+
+
+class TestPickling:
+    def test_model_roundtrip_answers_bit_identically(self, mesh_system):
+        model = build_reduced_model(
+            mesh_system, OPTS, T_END, RomConfig()
+        )
+        clone = pickle.loads(pickle.dumps(model))
+        scenario = Scenario(name="hot", scales={0: 1.2})
+        a = model.answer(model.input_matrix(scenario, None))
+        b = clone.answer(clone.input_matrix(scenario, None))
+        assert a.states.tobytes() == b.states.tobytes()
+        assert a.bound_abs == b.bound_abs
+        assert a.bound_rel == b.bound_rel
+
+    def test_compiled_plan_carries_the_model_through_pickle(
+        self, mesh_system
+    ):
+        compiled = _compile(mesh_system, rom=RomConfig(tol=0.9))
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.rom is not None
+        assert clone.rom.dim == compiled.rom.dim
+        with Session(compiled) as s1, Session(clone) as s2:
+            r1 = s1.sweep([Scenario(name="hot", scales={0: 1.1})])
+            r2 = s2.sweep([Scenario(name="hot", scales={0: 1.1})])
+        assert (r1[0].result.states.tobytes()
+                == r2[0].result.states.tobytes())
+
+
+class TestModelInternals:
+    def test_reduced_exponents_are_stable(self, mesh_system):
+        model = build_reduced_model(
+            mesh_system, OPTS, T_END, RomConfig()
+        )
+        assert np.all(model.lam.real <= 0.0)
+
+    def test_dc_point_matches_full_order(self, mesh_system):
+        model = build_reduced_model(
+            mesh_system, OPTS, T_END, RomConfig()
+        )
+        ans = model.answer(model.input_matrix())
+        lu = FACTORIZATION_CACHE.factor(mesh_system.G, label="G(test)")
+        x_dc = lu.solve(mesh_system.bu(0.0))
+        np.testing.assert_allclose(
+            ans.states[0], x_dc, rtol=1e-9, atol=1e-14
+        )
+
+    def test_segment_tables_cover_grid_widths(self, mesh_system):
+        model = build_reduced_model(
+            mesh_system, OPTS, T_END, RomConfig()
+        )
+        widths = {float(w) for w in np.diff(model.grid)}
+        assert widths == set(model.tables)
