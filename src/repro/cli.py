@@ -207,8 +207,122 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out-dir", type=Path, default=None,
                        help="write one <scenario>.npz trajectory per "
                             "scenario into this directory")
+    _add_supervision_options(sweep)
     _add_cache_options(sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived plan-server daemon over a local socket",
+        description="Compile the deck once and serve run/sweep jobs "
+                    "from concurrent clients over a stream socket "
+                    "(repro.serve): bounded job queue, per-job "
+                    "deadlines, retry-supervised executors, draining "
+                    "SIGTERM shutdown.  Results return as SHA-256 "
+                    "digests plus summary scalars.",
+    )
+    serve.add_argument("--netlist", type=Path, required=True,
+                       help="ibmpg-style SPICE deck to stream and "
+                            "preload as the 'default' plan")
+    serve.add_argument("--socket", type=Path, required=True,
+                       help="stream-socket path to listen on")
+    serve.add_argument("--plan-name", default="default",
+                       help="catalogue name of the preloaded plan")
+    serve.add_argument("--t-end", default=None,
+                       help="simulation horizon (SPICE suffixes ok); "
+                            "defaults to the deck's .tran stop time")
+    serve.add_argument(
+        "--method", default="r-matex",
+        help="MATEX integrator (r-matex | i-matex | mexp)")
+    serve.add_argument("--gamma", default="1e-10",
+                       help="rational-Krylov shift")
+    serve.add_argument("--eps", type=float, default=1e-7,
+                       help="relative Arnoldi error budget")
+    serve.add_argument("--decomposition", default="bump",
+                       choices=["bump", "source", "bump-split"])
+    serve.add_argument(
+        "--batch", default="auto", type=_batch_policy,
+        help="lockstep policy for the preloaded plan (default auto)")
+    serve.add_argument(
+        "--stack", default="auto", type=_stack_policy,
+        help="scenarios per executor submission for sweep jobs")
+    serve.add_argument(
+        "--processes", type=int, default=0,
+        help="persistent worker processes per plan (0 = in-process)")
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="bounded job-queue depth; a full queue rejects "
+             "immediately with kind=busy (default 16)")
+    serve.add_argument(
+        "--rom", default=None, metavar="TOL[:QMAX]",
+        help="bake a reduced-order model into the preloaded plan "
+             "(see sweep --rom)")
+    _add_supervision_options(serve, serving=True)
+    _add_cache_options(serve)
     return parser
+
+
+def _add_supervision_options(
+    p: argparse.ArgumentParser, serving: bool = False
+) -> None:
+    """Retry/timeout/backoff/fault knobs (sweep --processes and serve).
+
+    ``sweep`` defaults every knob to ``None`` — no flag, no policy, the
+    historical raise-through executor.  ``serve`` defaults to a live
+    policy (2 retries, 50 ms backoff): a daemon exists to stay up.
+    """
+    p.add_argument(
+        "--retries", type=int, default=2 if serving else None,
+        help="max retries per failed task batch (bounded self-heal; "
+             "exhaustion raises a structured JobError)"
+             + ("; default 2" if serving else
+                "; default: no retry policy, failures raise through"))
+    p.add_argument(
+        "--job-timeout", type=float, default=120.0 if serving else None,
+        help=("per-job deadline in seconds: queued jobs past it are "
+              "rejected unrun (default 120)" if serving else
+              "per-batch wall-clock budget in seconds; expiry "
+              "force-kills the hung workers and counts as a failure"))
+    p.add_argument(
+        "--backoff", type=float, default=0.05 if serving else None,
+        help="base delay before the first retry, seconds (doubled per "
+             "retry, deterministically jittered); default 0.05")
+    p.add_argument(
+        "--degrade-after", type=int, default=0 if serving else None,
+        help="after this many consecutive pool failures, degrade to "
+             "in-process execution with a warning instead of failing "
+             "(0 = never degrade)")
+    p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault injection for chaos testing: "
+             "comma-separated kind@task[:arg] directives "
+             "(kill@N | delay@N:sec | shmfail@N | evict@N), each "
+             "firing exactly once; also REPRO_FAULTS")
+
+
+def _retry_policy_from_args(args, serving: bool = False):
+    """Build the RetryPolicy encoded by the supervision flags.
+
+    Returns ``None`` when no flag was given on a sweep (legacy
+    raise-through executor); ``serve`` always builds one (its defaults
+    are live).  Range errors surface as usage errors via ``_UsageError``.
+    """
+    from repro.dist.supervision import RetryPolicy
+
+    knobs = (args.retries, args.job_timeout, args.backoff,
+             args.degrade_after)
+    if not serving and all(k is None for k in knobs):
+        return None
+    try:
+        return RetryPolicy(
+            max_retries=args.retries if args.retries is not None else 2,
+            # serve's --job-timeout is the queue deadline, enforced by
+            # the daemon itself; the per-batch budget stays unbounded.
+            timeout=None if serving else args.job_timeout,
+            backoff=args.backoff if args.backoff is not None else 0.05,
+            degrade_after=args.degrade_after or 0,
+        )
+    except ValueError as exc:
+        raise _UsageError(str(exc)) from None
 
 
 def _add_cache_options(p: argparse.ArgumentParser) -> None:
@@ -540,11 +654,24 @@ def _cmd_sweep(args) -> int:
             raise _UsageError(
                 f"--processes must be >= 0, got {args.processes}"
             )
+        retry = _retry_policy_from_args(args)
+        if args.faults is not None:
+            from repro import faults as _faults
+
+            try:
+                _faults.install(args.faults)
+            except _faults.FaultError as exc:
+                raise _UsageError(str(exc)) from None
+            print(f"fault injection active: {args.faults}")
     except _UsageError as exc:
         return _usage_error(str(exc))
     for value in (args.gamma, args.t_end):
         if value is not None:
             parse_value(value)
+    # A killed sweep (Ctrl-C, SIGTERM) must not leak /dev/shm segments.
+    from repro.dist.shm import install_signal_sweep
+
+    install_signal_sweep()
 
     res = ingest_file(args.netlist)
     print(res.stats.summary())
@@ -582,12 +709,14 @@ def _cmd_sweep(args) -> int:
 
     import time as _time
     t0 = _time.perf_counter()
+    executor = None
     if args.processes:
         from repro.dist.executors import MultiprocessExecutor
 
         executor = MultiprocessExecutor(
             system, opts, max_workers=args.processes,
             batch_width=None if args.batch == "off" else args.batch,
+            retry=retry,
         )
         with executor, Session(compiled, executor=executor) as session:
             results = session.sweep(scenarios, stack=args.stack)
@@ -629,9 +758,88 @@ def _cmd_sweep(args) -> int:
               f"space (q={compiled.rom.dim}), {session.rom_fallbacks} "
               f"fell back full-order, max bound "
               f"{max(bounds, default=0.0):.2e}")
+    if executor is not None and any(executor.supervision.as_dict().values()):
+        sup = executor.supervision
+        print(f"supervision: {sup.retries} retries, "
+              f"{sup.pool_failures} pool failures "
+              f"({sup.timeouts} timeouts), {sup.degradations} "
+              f"degradations ({sup.degraded_runs} degraded batches)")
     print(_cache_stats_line())
     if args.out_dir is not None:
         print(f"wrote {len(results)} trajectories to {args.out_dir}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import PlanServer, ServeConfig
+
+    try:
+        cls = get_integrator(args.method)
+        if getattr(cls, "krylov_method", None) is None:
+            raise _UsageError(
+                f"serve needs a MATEX method (r-matex, i-matex, mexp), "
+                f"got {args.method!r}"
+            )
+        rom_cfg = _parse_rom(args.rom) if args.rom is not None else None
+        if args.processes < 0:
+            raise _UsageError(
+                f"--processes must be >= 0, got {args.processes}"
+            )
+        retry = _retry_policy_from_args(args, serving=True)
+        if args.faults is not None:
+            from repro import faults as _faults
+
+            try:
+                _faults.install(args.faults)
+            except _faults.FaultError as exc:
+                raise _UsageError(str(exc)) from None
+        try:
+            config = ServeConfig(
+                socket_path=str(args.socket),
+                max_queue=args.max_queue,
+                job_timeout=args.job_timeout,
+                processes=args.processes,
+                retry=retry,
+                stack=args.stack,
+            )
+        except ValueError as exc:
+            raise _UsageError(str(exc)) from None
+    except _UsageError as exc:
+        return _usage_error(str(exc))
+    for value in (args.gamma, args.t_end):
+        if value is not None:
+            parse_value(value)
+    # A SIGKILLed daemon cannot drain; at least plain exits and the
+    # drain path itself must leave /dev/shm clean.
+    from repro.dist.shm import install_signal_sweep
+
+    install_signal_sweep()
+
+    server = PlanServer(config)
+    entry = server.load_plan(
+        args.plan_name,
+        args.netlist,
+        t_end=parse_value(args.t_end) if args.t_end is not None else None,
+        method=cls.krylov_method,
+        gamma=parse_value(args.gamma),
+        eps_rel=args.eps,
+        decomposition=args.decomposition,
+        batch=args.batch,
+        rom=rom_cfg,
+    )
+    print(f"plan {entry.name!r} ready: {entry.compiled.summary()}",
+          flush=True)
+    if args.faults is not None:
+        print(f"fault injection active: {args.faults}", flush=True)
+    print(f"repro serve: listening on {args.socket} "
+          f"(queue {args.max_queue}, deadline {args.job_timeout:g}s, "
+          f"{args.processes or 'in-process'} workers)", flush=True)
+    asyncio.run(server.serve())
+    print(f"repro serve: drained ({server.jobs_done} done, "
+          f"{server.jobs_failed} failed, {server.jobs_rejected} "
+          f"rejected)", flush=True)
     return 0
 
 
@@ -652,6 +860,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

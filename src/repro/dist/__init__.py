@@ -19,6 +19,7 @@ from repro.dist.block_runner import BlockNodeRunner
 from repro.dist.executors import Executor, MultiprocessExecutor, SerialExecutor
 from repro.dist.messages import DistributedResult, NodeResult, SimulationTask
 from repro.dist.scheduler import DECOMPOSITIONS, MatexScheduler
+from repro.dist.supervision import JobError, RetryPolicy, SupervisionStats
 from repro.dist.worker import NodeWorker
 
 __all__ = [
@@ -26,10 +27,13 @@ __all__ = [
     "DECOMPOSITIONS",
     "DistributedResult",
     "Executor",
+    "JobError",
     "MatexScheduler",
     "MultiprocessExecutor",
     "NodeResult",
     "NodeWorker",
+    "RetryPolicy",
     "SerialExecutor",
     "SimulationTask",
+    "SupervisionStats",
 ]

@@ -30,9 +30,14 @@ runs all agree bit-for-bit.
 from __future__ import annotations
 
 import os
+import signal
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Iterable, Sequence
 
+from repro import faults
 from repro.circuit.mna import MNASystem
 from repro.core.options import SolverOptions
 from repro.dist.block_runner import BlockNodeRunner
@@ -44,9 +49,34 @@ from repro.dist.shm import (
     shm_available,
     to_shared,
 )
+from repro.dist.supervision import JobError, RetryPolicy, SupervisionStats
 from repro.dist.worker import NodeWorker
 
 __all__ = ["Executor", "SerialExecutor", "MultiprocessExecutor"]
+
+#: Exceptions that mean "the batch ran out of wall clock" on every
+#: supported Python (concurrent.futures.TimeoutError only became an
+#: alias of the builtin in 3.11).
+_TIMEOUT_ERRORS = (TimeoutError, _FuturesTimeout)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, force: bool = False) -> None:
+    """Shut a pool down; ``force`` kills workers first (hung-task path).
+
+    ``shutdown(wait=True)`` on a pool whose worker is stuck (or asleep
+    under an injected delay) would wait forever — after a timeout the
+    only safe move is to SIGKILL the worker processes and reap without
+    waiting.
+    """
+    if force:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already-dead races
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+    else:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 def _resolve_batch_width(batch_width, n_tasks: int) -> int | None:
@@ -195,6 +225,26 @@ def _init_process_worker(
     _PROCESS_CONFIG = (system, options, shm_prefix)
     _PROCESS_WORKER = None
     _PROCESS_RUNNER = None
+    # Forked workers inherit the parent's signal plumbing — including,
+    # under asyncio, the event loop's signal wakeup fd, which fork
+    # leaves SHARED with the parent.  A SIGTERM delivered to a worker
+    # (pool teardown terminates workers) would then be written into the
+    # parent loop's wakeup pipe and misread as the parent's own signal
+    # (observed: a broken-pool cleanup draining a `repro serve` daemon).
+    # Workers take default dispositions instead.
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+    # Pool workers are disposable: lethal injected faults (kill@N) are
+    # armed here and only here, so a degraded in-process rerun of the
+    # same task can never take the host down.
+    faults.mark_worker_process()
 
 
 def _maybe_share(result: NodeResult) -> NodeResult:
@@ -217,6 +267,10 @@ def _run_chunk_in_process(tasks: list[SimulationTask]) -> list[NodeResult]:
     assert _PROCESS_CONFIG is not None, "pool initializer did not run"
     if _PROCESS_RUNNER is None:
         _PROCESS_RUNNER = BlockNodeRunner(*_PROCESS_CONFIG[:2])
+    # The lockstep chunk path bypasses NodeWorker.run, so the fault
+    # hook fires here, per task, before the batch marches.
+    for t in tasks:
+        faults.on_task_start(t.task_id)
     return [_maybe_share(r) for r in _PROCESS_RUNNER.run(tasks)]
 
 
@@ -242,6 +296,17 @@ class MultiprocessExecutor(Executor):
         ``multiprocessing.shared_memory`` when the platform supports
         it, with only metadata pickled; ``"shm"`` forces it, and
         ``"pickle"`` forces the classic pipe transport.
+    retry:
+        ``None`` (default) — historical behaviour: any failure disposes
+        a persistent pool and re-raises.  A
+        :class:`~repro.dist.supervision.RetryPolicy` supervises every
+        batch instead: bounded retries with backoff, an optional
+        per-batch timeout (expiry force-kills the hung workers), a
+        structured :class:`~repro.dist.supervision.JobError` on
+        give-up, and — with ``degrade_after > 0`` — a degradation
+        ladder that falls back to in-process execution after that many
+        consecutive pool failures.  Lifetime counters live on
+        :attr:`supervision`.
 
     Notes
     -----
@@ -259,7 +324,10 @@ class MultiprocessExecutor(Executor):
     :func:`repro.dist.shm.cleanup_segments`).  A failure inside a
     *persistent* pool additionally disposes the (possibly broken) pool:
     the next :meth:`run` transparently spins up fresh workers, so one
-    SIGKILLed worker cannot poison the scenarios that follow.
+    SIGKILLed worker cannot poison the scenarios that follow.  With a
+    ``retry`` policy the failed batch itself is retried against the
+    fresh pool — because task trajectories are deterministic, a retried
+    batch is bit-identical to a never-failed one.
     """
 
     def __init__(
@@ -269,6 +337,7 @@ class MultiprocessExecutor(Executor):
         max_workers: int | None = None,
         batch_width=None,
         transport: str = "auto",
+        retry: RetryPolicy | None = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -283,15 +352,26 @@ class MultiprocessExecutor(Executor):
                 "/dev/shm namespace (for crash cleanup); use 'auto' "
                 "(falls back to pickle) on this platform"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy or None, got {retry!r}"
+            )
         self.system = system
         self.options = options if options is not None else SolverOptions()
         self.max_workers = max_workers
         self.batch_width = batch_width
         self.transport = transport
+        self.retry = retry
+        #: Lifetime resilience counters (see
+        #: :class:`~repro.dist.supervision.SupervisionStats`).
+        self.supervision = SupervisionStats()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers: int = 0
         self._prefix: str | None = None
         self._persistent = False
+        self._consecutive_failures = 0
+        self._degraded = False
+        self._serial: SerialExecutor | None = None
 
     def _use_shm(self) -> bool:
         if self.transport == "pickle":
@@ -321,26 +401,41 @@ class MultiprocessExecutor(Executor):
             initargs=(self.system, self.options, self._prefix),
         )
 
-    def _dispose_pool(self) -> None:
-        """Shut the pool down and sweep its shm namespace."""
+    def _dispose_pool(self, force: bool = False) -> None:
+        """Shut the pool down and sweep its shm namespace.
+
+        ``force`` SIGKILLs the worker processes first — the timeout
+        path, where a hung worker would otherwise deadlock the reap.
+        """
         pool, prefix = self._pool, self._prefix
         self._pool = None
         self._prefix = None
         if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+            _shutdown_pool(pool, force=force)
         if prefix is not None:
             # The happy path consumed (attached + unlinked) every
             # segment already; this reclaims whatever a failure left.
             cleanup_segments(prefix)
 
     def close(self) -> None:
-        """End the persistent lifecycle and release the pool."""
+        """End the persistent lifecycle and release the pool.
+
+        Also resets the degradation latch: a closed-and-reused executor
+        starts trusting process pools again (the counters on
+        :attr:`supervision` keep accumulating for the lifetime of the
+        executor object).
+        """
         self._persistent = False
         self._dispose_pool()
+        self._degraded = False
+        self._consecutive_failures = 0
+        if self._serial is not None:
+            self._serial.close()
+            self._serial = None
 
     def _map_tasks(
         self, pool: ProcessPoolExecutor, tasks: list[SimulationTask],
-        n_workers: int,
+        n_workers: int, timeout: float | None = None,
     ) -> list[NodeResult]:
         width = self.batch_width
         if width == "auto":
@@ -348,11 +443,12 @@ class MultiprocessExecutor(Executor):
             width = -(-len(tasks) // min(n_workers, len(tasks)))
         width = _resolve_batch_width(width, len(tasks))
         if width is None:
-            return list(pool.map(_run_in_process, tasks))
+            return list(pool.map(_run_in_process, tasks, timeout=timeout))
         return [
             r
             for chunk_results in pool.map(
-                _run_chunk_in_process, _chunks(tasks, width)
+                _run_chunk_in_process, _chunks(tasks, width),
+                timeout=timeout,
             )
             for r in chunk_results
         ]
@@ -361,25 +457,40 @@ class MultiprocessExecutor(Executor):
         tasks = list(tasks)
         if not tasks:
             return []
+        if self._degraded:
+            self.supervision.degraded_runs += 1
+            return self._degraded_executor().run(tasks)
+        if self.retry is not None:
+            return self._run_supervised(tasks)
         if self._persistent:
             # Respawns the pool if a previous failure disposed it.
             self.prepare()
             return self._run_persistent(tasks)
+        return self._run_once(tasks)
 
+    def _run_once(
+        self, tasks: list[SimulationTask], timeout: float | None = None
+    ) -> list[NodeResult]:
+        """Historical per-call lifecycle: fresh pool, run, tear down."""
         n_workers = min(self.max_workers or os.cpu_count() or 1, len(tasks))
         prefix = new_segment_prefix() if self._use_shm() else None
+        pool = ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_process_worker,
+            initargs=(self.system, self.options, prefix),
+        )
         try:
-            with ProcessPoolExecutor(
-                max_workers=n_workers,
-                initializer=_init_process_worker,
-                initargs=(self.system, self.options, prefix),
-            ) as pool:
-                raw = self._map_tasks(pool, tasks, n_workers)
-            return [from_shared(r) for r in raw]
-        except BaseException:
+            raw = self._map_tasks(pool, tasks, n_workers, timeout=timeout)
+            results = [from_shared(r) for r in raw]
+        except BaseException as exc:
+            _shutdown_pool(pool, force=isinstance(exc, _TIMEOUT_ERRORS))
             if prefix is not None:
                 cleanup_segments(prefix)
             raise
+        _shutdown_pool(pool)
+        if prefix is not None:
+            cleanup_segments(prefix)
+        return results
 
     def _run_persistent(self, tasks: list[SimulationTask]) -> list[NodeResult]:
         """One batch against the long-lived pool, self-healing on failure.
@@ -389,9 +500,9 @@ class MultiprocessExecutor(Executor):
         the pool and sweeps the run's shared-memory prefix, so the dead
         worker's segments are reclaimed immediately and the **next**
         :meth:`run` call transparently builds a fresh pool.  The
-        exception still propagates: the caller decides whether the
-        failed batch is retried (a :class:`repro.plan.Session` reports
-        the scenario as failed and moves on).
+        exception still propagates: with ``retry=None`` the caller
+        decides whether the failed batch is retried; under a
+        :class:`RetryPolicy` the supervised loop below retries it here.
         """
         try:
             raw = self._map_tasks(self._pool, tasks, self._pool_workers)
@@ -399,3 +510,84 @@ class MultiprocessExecutor(Executor):
         except BaseException:
             self._dispose_pool()
             raise
+
+    # -- supervised execution -----------------------------------------------------
+
+    def _run_supervised(self, tasks: list[SimulationTask]) -> list[NodeResult]:
+        """Run one batch under :attr:`retry`: bounded retries, backoff,
+        per-batch timeout, degradation ladder, :class:`JobError` give-up.
+        """
+        policy = self.retry
+        start = time.monotonic()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                if self._persistent:
+                    self.prepare()
+                    try:
+                        raw = self._map_tasks(
+                            self._pool, tasks, self._pool_workers,
+                            timeout=policy.timeout,
+                        )
+                        results = [from_shared(r) for r in raw]
+                    except BaseException as exc:
+                        self._dispose_pool(
+                            force=isinstance(exc, _TIMEOUT_ERRORS)
+                        )
+                        raise
+                else:
+                    results = self._run_once(tasks, timeout=policy.timeout)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                self.supervision.pool_failures += 1
+                if isinstance(exc, _TIMEOUT_ERRORS):
+                    self.supervision.timeouts += 1
+                self._consecutive_failures += 1
+                if (
+                    policy.degrade_after
+                    and self._consecutive_failures >= policy.degrade_after
+                ):
+                    self._degrade(exc)
+                    self.supervision.degraded_runs += 1
+                    return self._degraded_executor().run(tasks)
+                if attempts > policy.max_retries:
+                    elapsed = time.monotonic() - start
+                    raise JobError(
+                        f"batch of {len(tasks)} task(s) failed permanently "
+                        f"after {attempts} attempt(s) over {elapsed:.2f}s "
+                        f"(last cause: {exc!r})",
+                        attempts=attempts,
+                        elapsed_seconds=elapsed,
+                        cause=exc,
+                    ) from exc
+                self.supervision.retries += 1
+                delay = policy.delay(attempts - 1)
+                if delay > 0.0:
+                    time.sleep(delay)
+            else:
+                self._consecutive_failures = 0
+                return results
+
+    def _degrade(self, cause: BaseException) -> None:
+        """Latch the degradation ladder: pools are no longer trusted."""
+        self.supervision.degradations += 1
+        self._degraded = True
+        self._dispose_pool()
+        warnings.warn(
+            f"MultiprocessExecutor: {self._consecutive_failures} consecutive "
+            f"pool failure(s) (last cause: {cause!r}); degrading to "
+            f"in-process execution until this executor is closed",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    def _degraded_executor(self) -> SerialExecutor:
+        """The lazily-built in-process fallback (same batch policy, so
+        degraded results stay bit-identical to pool results)."""
+        if self._serial is None:
+            self._serial = SerialExecutor(
+                self.system, self.options, batch_width=self.batch_width
+            )
+        return self._serial

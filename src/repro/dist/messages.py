@@ -162,6 +162,16 @@ class DistributedResult:
         True when the bound exceeded the model's tolerance and the
         scenario was transparently re-run on the full-order path —
         such results are bit-identical to a sweep without the model.
+    retries:
+        Batch re-submissions the executor's
+        :class:`~repro.dist.supervision.RetryPolicy` performed while
+        producing this result (0 without a policy, or when nothing
+        failed).  Retried batches are bit-identical to never-failed
+        ones — this counter is the only observable difference.
+    degraded_runs:
+        Batches answered by the in-process degradation fallback after
+        the executor stopped trusting process pools (see
+        ``RetryPolicy.degrade_after``).
     """
 
     result: TransientResult
@@ -177,6 +187,8 @@ class DistributedResult:
     rom_dim: int | None = None
     rom_bound: float | None = None
     rom_fallback: bool = False
+    retries: int = 0
+    degraded_runs: int = 0
 
     @property
     def node_transient_seconds(self) -> list[float]:

@@ -20,12 +20,20 @@ Lifecycle contract
 * If a worker dies before handing over (SIGKILL, crash), the name would
   leak — :func:`cleanup_segments` sweeps every segment carrying the
   run's unique prefix; the executor calls it on any pool failure.
+* If the **parent** dies mid-run (Ctrl-C, SIGTERM, un-caught error), the
+  per-failure sweeps never run — so every prefix handed out by
+  :func:`new_segment_prefix` is remembered until its sweep, and an
+  ``atexit`` hook (plus the optional :func:`install_signal_sweep`
+  SIGTERM chain, used by the CLI) reclaims whatever is left on the way
+  out.  No ``/dev/shm`` leaks survive the process.
 """
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import os
+import signal
 import uuid
 import weakref
 from dataclasses import dataclass
@@ -33,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.dist.messages import NodeResult
 
 try:  # pragma: no cover - import guard for exotic platforms
@@ -48,6 +57,8 @@ __all__ = [
     "to_shared",
     "from_shared",
     "cleanup_segments",
+    "sweep_run_segments",
+    "install_signal_sweep",
 ]
 
 
@@ -94,9 +105,65 @@ def shm_available() -> bool:
     )
 
 
+#: Prefixes handed out by :func:`new_segment_prefix` whose sweep has not
+#: run yet — the exit/SIGTERM sweep reclaims exactly these.
+_EXIT_PREFIXES: set[str] = set()
+_EXIT_HOOK_INSTALLED = False
+
+
 def new_segment_prefix() -> str:
-    """A run-unique segment-name prefix (also the cleanup sweep key)."""
-    return f"repro{os.getpid()}x{uuid.uuid4().hex[:8]}"
+    """A run-unique segment-name prefix (also the cleanup sweep key).
+
+    Every prefix is remembered for the process-exit sweep until
+    :func:`cleanup_segments` runs for it, so an interpreter that dies
+    mid-run (Ctrl-C, fatal error) still reclaims its segments.
+    """
+    global _EXIT_HOOK_INSTALLED
+    prefix = f"repro{os.getpid()}x{uuid.uuid4().hex[:8]}"
+    _EXIT_PREFIXES.add(prefix)
+    if not _EXIT_HOOK_INSTALLED:
+        atexit.register(sweep_run_segments)
+        _EXIT_HOOK_INSTALLED = True
+    return prefix
+
+
+def sweep_run_segments() -> int:
+    """Sweep every not-yet-swept prefix of this process (exit hook body).
+
+    Idempotent and cheap on the happy path (each live run's sweep is a
+    no-op glob once its results were consumed).  Returns the number of
+    segments reclaimed.
+    """
+    removed = 0
+    for prefix in sorted(_EXIT_PREFIXES):
+        removed += cleanup_segments(prefix)
+    return removed
+
+
+def install_signal_sweep(signums: tuple = (signal.SIGTERM,)) -> None:
+    """Chain a segment sweep in front of the current signal disposition.
+
+    For each signal: sweep first, then defer to whatever handler was
+    installed before.  A default disposition becomes
+    ``SystemExit(128 + signum)`` — the conventional fatal-signal exit
+    code, and it lets ``atexit`` (and ``finally`` blocks) run, unlike
+    the default handler's immediate kill.  An ignored signal stays ignored
+    (after the sweep).  Used by the CLI so ``kill <pid>`` mid-sweep
+    leaks nothing.
+    """
+    for signum in signums:
+        prev = signal.getsignal(signum)
+
+        def _handler(num, frame, _prev=prev):
+            sweep_run_segments()
+            if _prev is signal.SIG_IGN:
+                return
+            if callable(_prev):
+                _prev(num, frame)
+                return
+            raise SystemExit(128 + num)
+
+        signal.signal(signum, _handler)
 
 
 def _unregister(raw_name: str) -> None:
@@ -156,6 +223,21 @@ def from_shared(result: NodeResult) -> NodeResult:
     ref = result.states
     if not isinstance(ref, ShmArrayRef):
         return result
+    task_part = ref.name.rpartition("t")[2]
+    if task_part.isdigit() and faults.should_fail_attach(int(task_part)):
+        # Injected attach failure (shmfail@N): unlink the real segment
+        # underneath the ref so the genuine missing-segment error path
+        # below runs — no simulated exceptions.
+        try:
+            doomed = shared_memory.SharedMemory(name=ref.name)
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        else:
+            try:
+                doomed.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            _close_segment(doomed)
     try:
         seg = shared_memory.SharedMemory(name=ref.name)
     except FileNotFoundError as exc:
@@ -184,6 +266,7 @@ def cleanup_segments(prefix: str) -> int:
     no-op (segments still die with the machine, and the normal handover
     path never leaks).
     """
+    _EXIT_PREFIXES.discard(prefix)
     removed = 0
     base = Path("/dev/shm")
     if not base.is_dir():

@@ -19,6 +19,7 @@ scheduler can report them in
 
 from __future__ import annotations
 
+from repro import faults
 from repro.circuit.mna import MNASystem
 from repro.core.options import SolverOptions
 from repro.core.solver import MatexSolver
@@ -91,6 +92,7 @@ class NodeWorker:
         other point is served as a snapshot from the most recent basis
         (Alg. 2 line 11).
         """
+        faults.on_task_start(task.task_id)
         result = run_task(self.solver, task)
         result.stats.n_factor_cache_hits += self._pending_cache_hits
         result.stats.n_factor_cache_misses += self._pending_cache_misses

@@ -1,0 +1,312 @@
+"""Deterministic fault injection for the distributed executors.
+
+Resilience code that only runs when real hardware misbehaves is
+untested code.  This module makes the failure paths *schedulable*: a
+:class:`FaultPlan` is a small, ordered list of faults, each armed at a
+specific task id, that the dist layer consults at well-defined hook
+points:
+
+* ``kill@N``    — SIGKILL the worker process as it starts task ``N``
+  (the classic mid-batch node death; only armed inside pool worker
+  processes, so a degraded in-process rerun never shoots the host);
+* ``delay@N:S`` — sleep ``S`` seconds at the start of task ``N``
+  (drives the per-batch timeout path);
+* ``shmfail@N`` — make the parent's shared-memory attach of task
+  ``N``'s result fail (the segment is unlinked under the ref, so the
+  *real* :class:`~repro.dist.shm.ShmAttachError` path runs);
+* ``evict@N``   — clear the evaluating process's factorisation cache at
+  task ``N`` (an eviction storm: every later factor is a miss).
+
+Determinism contract
+--------------------
+Each directive fires **exactly once per plan state**, across processes
+and across pool respawns: firing is an atomic ``O_CREAT | O_EXCL``
+marker-file creation in a state directory shared by the parent and
+every worker (workers inherit the environment).  Two identical
+directives (``kill@0,kill@0``) therefore fire on two *successive*
+deliveries of task 0 — which is how a test scripts "the first two
+attempts of this batch die".  With the supervision layer retrying the
+batch, a faulted run's results are bit-identical to the fault-free run.
+
+Activation
+----------
+The plan travels through two environment variables so worker processes
+see the same faults as the parent:
+
+* ``REPRO_FAULTS`` — the comma-separated directive spec;
+* ``REPRO_FAULTS_STATE`` — the shared fire-once marker directory.
+
+:func:`install` sets both (creating a fresh state directory) and is
+what the CLI ``--faults`` flag calls; tests may also set the variables
+directly.  When ``REPRO_FAULTS_STATE`` is missing, a directory derived
+from the spec's hash under the system temp dir is used — stable across
+processes, but stale markers from a previous run with the identical
+spec persist, so prefer :func:`install` / an explicit state dir.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_KINDS",
+    "ENV_SPEC",
+    "ENV_STATE",
+    "FaultError",
+    "FaultSpec",
+    "FaultPlan",
+    "active_plan",
+    "install",
+    "uninstall",
+    "mark_worker_process",
+    "in_worker_process",
+    "on_task_start",
+    "should_fail_attach",
+]
+
+ENV_SPEC = "REPRO_FAULTS"
+ENV_STATE = "REPRO_FAULTS_STATE"
+
+#: Recognised directive kinds (see the module docstring for semantics).
+FAULT_KINDS = ("kill", "delay", "shmfail", "evict")
+
+
+class FaultError(ValueError):
+    """A ``REPRO_FAULTS`` spec does not parse."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: ``kind`` at the start of task ``task_id``.
+
+    ``index`` is the directive's position in the plan — it names the
+    fire-once marker, so repeated directives stay distinct.
+    """
+
+    index: int
+    kind: str
+    task_id: int
+    arg: float = 0.0
+
+    @property
+    def marker(self) -> str:
+        """Fire-once marker filename (unique per directive)."""
+        return f"{self.index:03d}.{self.kind}@{self.task_id}"
+
+    def __str__(self) -> str:
+        base = f"{self.kind}@{self.task_id}"
+        return f"{base}:{self.arg:g}" if self.kind == "delay" else base
+
+
+def _default_state_dir(spec: str) -> str:
+    digest = hashlib.sha256(spec.encode()).hexdigest()[:12]
+    return os.path.join(tempfile.gettempdir(), f"repro-faults-{digest}")
+
+
+class FaultPlan:
+    """A parsed, fire-once-stateful set of :class:`FaultSpec` directives."""
+
+    def __init__(self, specs: list[FaultSpec], state_dir: str):
+        self.specs = tuple(specs)
+        self.state_dir = state_dir
+        self._by_task: dict[int, list[FaultSpec]] = {}
+        for f in self.specs:
+            self._by_task.setdefault(f.task_id, []).append(f)
+
+    @classmethod
+    def parse(cls, spec: str, state_dir: str | None = None) -> "FaultPlan":
+        """Parse ``kind@task[:arg](,kind@task[:arg])*`` into a plan.
+
+        ``delay`` requires a positive ``:seconds`` argument; the other
+        kinds reject one.  Raises :class:`FaultError` on anything else.
+        """
+        specs: list[FaultSpec] = []
+        for index, raw in enumerate(spec.split(",")):
+            raw = raw.strip()
+            if not raw:
+                raise FaultError(
+                    f"empty directive at position {index} in {spec!r}"
+                )
+            kind, sep, rest = raw.partition("@")
+            if kind not in FAULT_KINDS or not sep:
+                raise FaultError(
+                    f"bad directive {raw!r}: expected kind@task[:arg] "
+                    f"with kind in {'/'.join(FAULT_KINDS)}"
+                )
+            task_part, sep, arg_part = rest.partition(":")
+            try:
+                task_id = int(task_part)
+                if task_id < 0:
+                    raise ValueError
+            except ValueError:
+                raise FaultError(
+                    f"bad directive {raw!r}: task id must be a "
+                    f"non-negative integer, got {task_part!r}"
+                ) from None
+            if kind == "delay":
+                try:
+                    arg = float(arg_part)
+                    if not sep or arg <= 0.0:
+                        raise ValueError
+                except ValueError:
+                    raise FaultError(
+                        f"bad directive {raw!r}: delay needs "
+                        f"delay@task:seconds with seconds > 0"
+                    ) from None
+            elif sep:
+                raise FaultError(
+                    f"bad directive {raw!r}: only delay takes an "
+                    f":arg suffix"
+                )
+            else:
+                arg = 0.0
+            specs.append(FaultSpec(index, kind, task_id, arg))
+        return cls(specs, state_dir or _default_state_dir(spec))
+
+    # -- fire-once state --------------------------------------------------------
+
+    def _fire(self, fault: FaultSpec) -> bool:
+        """Atomically claim ``fault``; True exactly once across processes."""
+        os.makedirs(self.state_dir, exist_ok=True)
+        try:
+            fd = os.open(
+                os.path.join(self.state_dir, fault.marker),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def fired(self) -> list[str]:
+        """Markers of the directives that have fired (sorted)."""
+        try:
+            return sorted(os.listdir(self.state_dir))
+        except FileNotFoundError:
+            return []
+
+    def reset(self) -> None:
+        """Re-arm every directive (remove all fire-once markers)."""
+        for name in self.fired():
+            try:
+                os.unlink(os.path.join(self.state_dir, name))
+            except FileNotFoundError:
+                pass
+
+    # -- hook points ------------------------------------------------------------
+
+    def on_task_start(self, task_id: int) -> None:
+        """Worker-side hook: a task is about to be simulated.
+
+        Fires at most one ``kill`` (the process dies) but any number of
+        pending ``delay``/``evict`` directives armed at this task.
+        """
+        for fault in self._by_task.get(task_id, ()):
+            if fault.kind == "delay":
+                if self._fire(fault):
+                    time.sleep(fault.arg)
+            elif fault.kind == "evict":
+                if self._fire(fault):
+                    from repro.linalg.lu import FACTORIZATION_CACHE
+
+                    FACTORIZATION_CACHE.clear()
+            elif fault.kind == "kill":
+                # Only pool workers are fair game: a degraded in-process
+                # rerun (or a SerialExecutor host) must never be shot.
+                if in_worker_process() and self._fire(fault):
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+    def should_fail_attach(self, task_id: int) -> bool:
+        """Parent-side hook: should this result's shm attach fail?"""
+        for fault in self._by_task.get(task_id, ()):
+            if fault.kind == "shmfail" and self._fire(fault):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({','.join(str(f) for f in self.specs)!r}, "
+            f"state={self.state_dir!r})"
+        )
+
+
+# -- ambient activation ----------------------------------------------------------
+
+_WORKER_PROCESS = False
+#: Parse cache, keyed by the (spec, state_dir) environment pair.
+_PLAN_CACHE: dict[tuple[str, str | None], FaultPlan] = {}
+
+
+def mark_worker_process() -> None:
+    """Arm lethal faults: this process is a disposable pool worker."""
+    global _WORKER_PROCESS
+    _WORKER_PROCESS = True
+
+
+def in_worker_process() -> bool:
+    """Whether this process declared itself a disposable pool worker."""
+    return _WORKER_PROCESS
+
+
+def active_plan() -> FaultPlan | None:
+    """The ambient :class:`FaultPlan`, or ``None`` when faults are off.
+
+    Reads ``REPRO_FAULTS`` / ``REPRO_FAULTS_STATE`` on every call (the
+    parse itself is cached), so a test that sets the environment after
+    import — or a worker process that inherited it — is picked up.
+    """
+    spec = os.environ.get(ENV_SPEC)
+    if not spec:
+        return None
+    state = os.environ.get(ENV_STATE)
+    key = (spec, state)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = FaultPlan.parse(spec, state)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+def install(spec: str, state_dir: str | None = None) -> FaultPlan:
+    """Activate a fault spec process-tree-wide (CLI ``--faults`` body).
+
+    Parses eagerly (a typo fails at argv time, not mid-sweep inside a
+    worker), creates a fresh private state directory unless one is
+    given, resets any stale markers in it, and exports both environment
+    variables so every later-spawned worker inherits the plan.
+    """
+    if state_dir is None:
+        state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+    plan = FaultPlan.parse(spec, state_dir)
+    plan.reset()
+    os.environ[ENV_SPEC] = spec
+    os.environ[ENV_STATE] = state_dir
+    _PLAN_CACHE[(spec, state_dir)] = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate ambient fault injection in this process."""
+    os.environ.pop(ENV_SPEC, None)
+    os.environ.pop(ENV_STATE, None)
+
+
+# -- module-level hook shims (what the dist layer calls) --------------------------
+
+
+def on_task_start(task_id: int) -> None:
+    """Dispatch the task-start hook to the ambient plan, if any."""
+    plan = active_plan()
+    if plan is not None:
+        plan.on_task_start(task_id)
+
+
+def should_fail_attach(task_id: int) -> bool:
+    """Dispatch the shm-attach hook to the ambient plan, if any."""
+    plan = active_plan()
+    return plan is not None and plan.should_fail_attach(task_id)

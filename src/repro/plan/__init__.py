@@ -37,7 +37,7 @@ from repro.plan.plan import (
     build_groups,
     prime_factorizations,
 )
-from repro.plan.scenario import Scenario, load_scenarios_json
+from repro.plan.scenario import Scenario, load_scenarios_json, scenario_from_spec
 
 __all__ = [
     "CompiledPlan",
@@ -49,6 +49,7 @@ __all__ = [
     "build_groups",
     "load_scenarios_json",
     "prime_factorizations",
+    "scenario_from_spec",
 ]
 
 

@@ -27,7 +27,7 @@ from pathlib import Path
 from repro.circuit.mna import MNASystem
 from repro.circuit.waveforms import Waveform
 
-__all__ = ["Scenario", "load_scenarios_json"]
+__all__ = ["Scenario", "scenario_from_spec", "load_scenarios_json"]
 
 
 @dataclass(frozen=True, eq=False)
@@ -103,6 +103,41 @@ class Scenario:
         return ", ".join(parts) + ")"
 
 
+def scenario_from_spec(entry, system: MNASystem, index: int = 0) -> Scenario:
+    """Build one :class:`Scenario` from a JSON-style spec object.
+
+    The single definition of the spec grammar, shared by
+    :func:`load_scenarios_json` (file sweeps) and the ``repro serve``
+    daemon (requests carry the same objects over the wire).  Supported
+    keys: ``name``, ``scale_loads``, ``scale`` — see
+    :func:`load_scenarios_json` for their semantics.  ``index`` only
+    seeds the default name and error messages.
+    """
+    if not isinstance(entry, dict):
+        raise ValueError(f"scenario entry {index} is not a JSON object")
+    unknown = set(entry) - {"name", "scale_loads", "scale"}
+    if unknown:
+        raise ValueError(
+            f"scenario entry {index} has unknown keys {sorted(unknown)}; "
+            f"supported: name, scale_loads, scale"
+        )
+    scales: dict[int, float] = {}
+    if "scale_loads" in entry:
+        factor = float(entry["scale_loads"])
+        scales.update((k, factor) for k in system.current_input_indices)
+    for col, factor in (entry.get("scale") or {}).items():
+        col = int(col)
+        if not 0 <= col < system.n_inputs:
+            raise ValueError(
+                f"scenario entry {index}: input column {col} out of range "
+                f"(system has {system.n_inputs} inputs)"
+            )
+        scales[col] = float(factor)
+    return Scenario(
+        name=entry.get("name", f"scenario{index}"), scales=scales
+    )
+
+
 def load_scenarios_json(path, system: MNASystem) -> list[Scenario]:
     """Load a sweep specification (JSON) into :class:`Scenario` objects.
 
@@ -133,31 +168,7 @@ def load_scenarios_json(path, system: MNASystem) -> list[Scenario]:
             f"scenario spec must be a JSON list of objects, "
             f"got {type(spec).__name__}"
         )
-    scenarios: list[Scenario] = []
-    for i, entry in enumerate(spec):
-        if not isinstance(entry, dict):
-            raise ValueError(f"scenario entry {i} is not a JSON object")
-        unknown = set(entry) - {"name", "scale_loads", "scale"}
-        if unknown:
-            raise ValueError(
-                f"scenario entry {i} has unknown keys {sorted(unknown)}; "
-                f"supported: name, scale_loads, scale"
-            )
-        scales: dict[int, float] = {}
-        if "scale_loads" in entry:
-            factor = float(entry["scale_loads"])
-            scales.update(
-                (k, factor) for k in system.current_input_indices
-            )
-        for col, factor in (entry.get("scale") or {}).items():
-            col = int(col)
-            if not 0 <= col < system.n_inputs:
-                raise ValueError(
-                    f"scenario entry {i}: input column {col} out of range "
-                    f"(system has {system.n_inputs} inputs)"
-                )
-            scales[col] = float(factor)
-        scenarios.append(
-            Scenario(name=entry.get("name", f"scenario{i}"), scales=scales)
-        )
-    return scenarios
+    return [
+        scenario_from_spec(entry, system, index=i)
+        for i, entry in enumerate(spec)
+    ]

@@ -452,10 +452,19 @@ class Session:
             for task in self._scenario_tasks(slot, bound)
         ]
         ev0 = FACTORIZATION_CACHE.stats()["evictions"]
+        # Supervised executors keep lifetime resilience counters; the
+        # per-chunk deltas ride on the chunk's results like evictions do.
+        sup = getattr(self.executor, "supervision", None)
+        retries0 = sup.retries if sup is not None else 0
+        degraded0 = sup.degraded_runs if sup is not None else 0
         node_results = sorted(
             self.executor.run(tasks), key=lambda r: r.task_id
         )
         chunk_evictions = FACTORIZATION_CACHE.stats()["evictions"] - ev0
+        chunk_retries = (sup.retries - retries0) if sup is not None else 0
+        chunk_degraded = (
+            (sup.degraded_runs - degraded0) if sup is not None else 0
+        )
 
         results: list[DistributedResult] = []
         for slot, (scenario, bound) in enumerate(
@@ -503,6 +512,11 @@ class Session:
                     scenario=(
                         None if scenario.is_baseline else scenario.name
                     ),
+                    # Like evictions: retry/degradation work is not
+                    # separable per scenario inside one stacked
+                    # submission, so the chunk's first result carries it.
+                    retries=chunk_retries if slot == 0 else 0,
+                    degraded_runs=chunk_degraded if slot == 0 else 0,
                 )
             )
         self.n_scenarios_run += len(scenarios)

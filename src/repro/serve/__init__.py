@@ -1,0 +1,29 @@
+"""``repro serve``: a long-lived plan-server daemon over a local socket.
+
+ROADMAP item 1's "millions of users" unlock: the expensive half of a
+MATEX run (ingest, decomposition, DC, schedules, factorisation priming,
+worker-pool spawn) is paid once per catalogued plan and amortised across
+every run/sweep job any client submits afterwards.  Jobs flow through a
+bounded queue with per-job deadlines, execute under a retry-supervised
+executor, and the daemon drains gracefully on SIGTERM — see
+:mod:`repro.serve.daemon` for the full failure-semantics contract and
+the README's "Failure semantics" section for the operator's view.
+
+>>> from repro.serve import connect
+>>> with connect("/tmp/repro.sock") as client:
+...     client.run(scenario={"name": "hot", "scale_loads": 1.3})
+"""
+
+from repro.serve.client import ServeClient, ServeError, connect
+from repro.serve.daemon import PlanServer, ServeConfig
+from repro.serve.protocol import MAX_LINE, ProtocolError
+
+__all__ = [
+    "MAX_LINE",
+    "PlanServer",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "connect",
+]

@@ -1,0 +1,135 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+A thin synchronous wrapper over the NDJSON socket protocol — enough for
+scripts, tests and notebook use.  Each :meth:`ServeClient.request` is
+strictly request/response on one connection; run several clients (or
+threads, one client each) for concurrency — the daemon interleaves them
+through its bounded queue.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.serve.protocol import decode, encode
+
+__all__ = ["ServeError", "ServeClient", "connect"]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered ``ok=false`` (or the connection died).
+
+    ``kind`` carries the daemon's machine-matchable failure class:
+    ``protocol``, ``busy``, ``draining``, ``deadline``, ``job`` — or
+    ``closed`` when the connection dropped without an answer.
+    """
+
+    def __init__(self, message: str, kind: str = "error"):
+        super().__init__(message)
+        self.kind = kind
+
+
+class ServeClient:
+    """One blocking connection to a :class:`~repro.serve.daemon.PlanServer`.
+
+    Parameters
+    ----------
+    socket_path:
+        The daemon's stream-socket path.
+    timeout:
+        Per-request socket timeout in seconds.  Generous by default:
+        a queued sweep answers only when its turn comes.
+    """
+
+    def __init__(self, socket_path: str, timeout: float = 600.0):
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.connect(self.socket_path)
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- protocol --------------------------------------------------------------
+
+    def request(self, op: str, check: bool = True, **payload) -> dict:
+        """Send one request and block for its response.
+
+        ``check=True`` (default) raises :class:`ServeError` on an
+        ``ok=false`` answer; ``check=False`` returns it for callers
+        that want to branch on ``kind`` (busy/draining probes).
+        """
+        self._next_id += 1
+        req_id = self._next_id
+        self._sock.sendall(encode({"id": req_id, "op": op, **payload}))
+        line = self._file.readline()
+        if not line:
+            raise ServeError(
+                "connection closed by the daemon before answering",
+                kind="closed",
+            )
+        resp = decode(line)
+        if check and not resp.get("ok"):
+            raise ServeError(
+                resp.get("error", "daemon reported failure"),
+                kind=resp.get("kind", "error"),
+            )
+        return resp
+
+    # -- convenience ops --------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def status(self) -> dict:
+        return self.request("status")
+
+    def load(self, netlist: str, name: str = "default", **options) -> dict:
+        return self.request("load", netlist=str(netlist), name=name,
+                            **options)
+
+    def run(self, plan: str = "default", scenario: dict | None = None,
+            check: bool = True) -> dict:
+        return self.request("run", plan=plan, scenario=scenario,
+                            check=check)
+
+    def sweep(self, scenarios: list, plan: str = "default",
+              check: bool = True) -> dict:
+        return self.request("sweep", plan=plan, scenarios=scenarios,
+                            check=check)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+
+def connect(
+    socket_path: str, timeout: float = 10.0, request_timeout: float = 600.0
+) -> ServeClient:
+    """Connect to a daemon, waiting up to ``timeout`` for it to come up.
+
+    A freshly-spawned daemon needs a moment to ingest/compile its plan
+    before binding the socket; this polls until the socket accepts.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return ServeClient(socket_path, timeout=request_timeout)
+        except (FileNotFoundError, ConnectionRefusedError):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)

@@ -1,0 +1,62 @@
+"""Wire protocol of the ``repro serve`` daemon: NDJSON over a socket.
+
+One request and one response are each a single ``\\n``-terminated JSON
+object — trivially debuggable (``nc -U`` works), streamable, and free of
+framing state.  Requests carry ``op`` (what to do) and an optional
+``id`` the response echoes back, so a pipelining client can match
+out-of-order answers (queued jobs complete after inline pings).
+
+Responses always carry ``ok``; failures add ``error`` (human-readable)
+and ``kind`` (machine-matchable: ``protocol``, ``busy``, ``draining``,
+``deadline``, ``job``).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["MAX_LINE", "ProtocolError", "encode", "decode", "read_message"]
+
+#: Hard per-line size cap (requests carry scenario lists, not
+#: trajectories — 8 MiB is generous; trajectories never cross the wire,
+#: results travel as digests + summary scalars).
+MAX_LINE = 8 * 2**20
+
+
+class ProtocolError(ValueError):
+    """A line on the wire is not a valid protocol message."""
+
+
+def encode(message: dict) -> bytes:
+    """One protocol message as a single NDJSON line (bytes)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes) -> dict:
+    """Parse one wire line into a message dict, or raise ProtocolError."""
+    if len(line) > MAX_LINE:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the {MAX_LINE}-byte cap"
+        )
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_message(reader) -> dict | None:
+    """Read one message from an asyncio stream (``None`` on EOF)."""
+    import asyncio
+
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as exc:
+        raise ProtocolError(f"oversized protocol line: {exc}") from None
+    if not line:
+        return None
+    return decode(line)

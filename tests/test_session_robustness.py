@@ -11,17 +11,20 @@ scenario, the dead worker's shared-memory segments are swept, and the
 import os
 import signal
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.circuit import Pulse
 from repro.core import SolverOptions
-from repro.dist import MatexScheduler, MultiprocessExecutor
+from repro.dist import MatexScheduler, MultiprocessExecutor, RetryPolicy
 from repro.dist.shm import shm_available
 from repro.linalg.lu import FACTORIZATION_CACHE
 from repro.plan import Scenario, Session, SimulationPlan
+from repro.rom import RomAnswer, RomConfig
 
 OPTS = SolverOptions(method="rational", gamma=1e-10, eps_rel=1e-8)
 T_END = 1e-9
@@ -156,3 +159,85 @@ class TestSessionSurvivesWorkerDeath:
         session.close()
         assert session.executor._worker is None
         assert session.executor._runner is None
+
+
+class RejectEverySecond:
+    """Duck-typed reduced model: rejects every second consultation, so a
+    sweep interleaves reduced answers with full-order fallbacks."""
+
+    def __init__(self, model):
+        self._model = model
+        self._calls = 0
+        self.dim = model.dim
+        self.grid = model.grid
+        self.n_points = model.n_points
+
+    def input_matrix(self, scenario, bound):
+        return self._model.input_matrix(scenario, bound)
+
+    def answer(self, U):
+        ans = self._model.answer(U)
+        self._calls += 1
+        if self._calls % 2 == 0:
+            return RomAnswer(
+                states=ans.states, bound_abs=ans.bound_abs,
+                bound_rel=1.0, accepted=False, seconds=ans.seconds,
+            )
+        return ans
+
+
+class TestRomFallbackSurvivesWorkerDeath:
+    """ISSUE-8 satellite: a worker SIGKILLed during ``_sweep_rom``'s
+    stacked full-order fallback must not corrupt the splice — ordering
+    and bytes stay identical to the fault-free sweep."""
+
+    def test_spliced_fallbacks_heal_bit_identically(
+        self, mesh_system, tmp_path
+    ):
+        compiled = SimulationPlan(
+            mesh_system, OPTS, t_end=T_END, batch="off"
+        ).compile(prime=False, rom=RomConfig(tol=0.9))
+        assert compiled.rom is not None, compiled.rom_error
+        names = [f"s{i}" for i in range(5)]
+        scenarios = [
+            Scenario(name=nm, scales={0: 1.0 + 0.05 * i})
+            for i, nm in enumerate(names)
+        ]
+
+        # Fault-free reference sweep (its own stateful reject pattern).
+        with Session(
+            replace(compiled, rom=RejectEverySecond(compiled.rom))
+        ) as session:
+            reference = session.sweep(scenarios)
+            assert session.rom_fallbacks == 2
+
+        # Same sweep, with the fallback chunk's first task killing its
+        # pool worker once; the supervised executor retries the batch.
+        faults.install("kill@0", str(tmp_path / "faults"))
+        try:
+            rigged = replace(compiled, rom=RejectEverySecond(compiled.rom))
+            retry = RetryPolicy(max_retries=2, backoff=0.0, jitter=0.0)
+            with MultiprocessExecutor(
+                mesh_system, OPTS, max_workers=2, retry=retry
+            ) as ex:
+                with Session(rigged, executor=ex) as session:
+                    faulted = session.sweep(scenarios)
+                    assert session.rom_fallbacks == 2
+        finally:
+            faults.uninstall()
+
+        assert ex.supervision.retries == 1
+        assert faults.FaultPlan.parse(
+            "kill@0", str(tmp_path / "faults")
+        ).fired() == ["000.kill@0"]
+        # The splice preserves input order and the fallback pattern...
+        assert [r.scenario for r in faulted] == names
+        assert [r.rom_fallback for r in faulted] == [
+            r.rom_fallback for r in reference
+        ] == [False, True, False, True, False]
+        # ...and every trajectory, reduced or replayed, is bit-identical.
+        for ref, got in zip(reference, faulted):
+            assert (got.result.states.tobytes()
+                    == ref.result.states.tobytes()), got.scenario
+        # The retry rides on the fallback chunk's first result.
+        assert sum(r.retries for r in faulted) == 1
