@@ -1,0 +1,8 @@
+"""``python -m repro.analysis``: run the project-invariant linter."""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

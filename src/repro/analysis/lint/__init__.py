@@ -1,0 +1,46 @@
+"""``repro.analysis.lint``: the project-invariant linter.
+
+Public API::
+
+    from repro.analysis.lint import lint_paths, all_rules
+
+    result = lint_paths(["src", "tests"])
+    result.clean, result.findings, result.exit_code
+
+CLI::
+
+    python -m repro.analysis src tests --format json
+    python -m repro.cli lint --list-rules
+
+See :mod:`repro.analysis.lint.core` for the framework and
+:mod:`repro.analysis.lint.rules` for the rule families.
+"""
+
+from repro.analysis.lint.core import (
+    Finding,
+    LintError,
+    LintResult,
+    Rule,
+    all_rules,
+    get_rule,
+    known_codes,
+    lint_paths,
+    register,
+)
+from repro.analysis.lint.report import render_json, render_text
+from repro.analysis.lint.suppress import parse_suppressions
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "known_codes",
+    "lint_paths",
+    "parse_suppressions",
+    "register",
+    "render_json",
+    "render_text",
+]

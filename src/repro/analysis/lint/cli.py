@@ -1,0 +1,84 @@
+"""CLI of the invariant linter: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes follow lint convention: 0 — clean, 1 — findings, 2 — usage
+error (unknown path, unknown rule code).  ``--format json`` is the CI
+gate's interface; ``--list-rules`` documents every registered rule with
+the invariant it guards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lint.core import (
+    LintError,
+    all_rules,
+    lint_paths,
+)
+from repro.analysis.lint.report import (
+    render_json,
+    render_rule_table,
+    render_text,
+)
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by ``repro lint`` and ``-m``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: src tests)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI gate's interface)")
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated RPL codes to run (default: all)")
+    parser.add_argument(
+        "--no-dynamic", action="store_true",
+        help="skip the semi-dynamic rules (message-dataclass import + "
+             "pickle round-trip probes)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered rule with the invariant it guards")
+
+
+def run_lint(args) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(render_rule_table(all_rules()))
+        return 0
+    paths = args.paths or ["src", "tests"]
+    select = None
+    if args.select is not None:
+        select = args.select.split(",")
+    try:
+        result = lint_paths(
+            paths, select=select, dynamic=not args.no_dynamic
+        )
+    except LintError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Project-invariant static analysis (RPL rules): "
+                    "determinism, fork/shm safety, picklability, "
+                    "async hygiene.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,487 @@
+"""Rule framework of the project-invariant linter (``repro lint``).
+
+The codebase rests on a handful of hard-won invariants — bitwise
+deterministic kernels, fork/shared-memory lifecycle safety, picklable
+cross-process messages, a never-blocking asyncio daemon — that nothing
+enforced except tests that happen to trip.  This module is the
+framework half of the enforcement: a rule registry (one ``RPL0xx`` code
+per rule), a per-file AST pass, project-level *semi-dynamic* rules
+(they import and probe real modules), and a suppression mechanism
+(``repro: allow[CODE] reason`` trailing comments, parsed from real
+comment tokens so docstrings about the syntax never count).
+
+The rules themselves live in :mod:`repro.analysis.lint.rules`; each one
+documents the invariant it guards and the PR that established it.
+Reporters live in :mod:`repro.analysis.lint.report`, the CLI in
+:mod:`repro.analysis.lint.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.analysis.lint.suppress import parse_suppressions
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "LintError",
+    "LintResult",
+    "register",
+    "all_rules",
+    "get_rule",
+    "known_codes",
+    "lint_paths",
+    "iter_python_files",
+    "is_test_file",
+    "FileContext",
+]
+
+#: Directory names never descended into when expanding a directory
+#: argument.  ``lint_fixtures`` holds the self-test suite's deliberately
+#: violating rule fixtures — linting them would make the clean-tree
+#: gate impossible.  An explicitly named *file* is always linted, so the
+#: self-tests can still point the linter at a fixture directly.
+EXCLUDED_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".hypothesis", "lint_fixtures"}
+)
+
+_CODE_RE = re.compile(r"RPL\d{3}\Z")
+
+
+class LintError(ValueError):
+    """A lint invocation problem (bad path, bad code) — a usage error."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class Rule:
+    """Base class all ``RPL`` rules subclass and register.
+
+    Class attributes double as the rule's documentation — ``repro lint
+    --list-rules`` and the README table are generated from them.
+
+    Attributes
+    ----------
+    code:
+        ``RPL0xx`` identifier (stable; suppressions reference it).
+    name:
+        Short kebab-case label.
+    summary:
+        One-line statement of what the rule flags.
+    invariant:
+        The project invariant the rule guards.
+    established:
+        Which PR established that invariant.
+    library_only:
+        True — the rule skips test files (``tests/`` or ``test_*.py``):
+        e.g. exact float comparison is an *assertion idiom* in a
+        bitwise-deterministic test suite but a smell in library code.
+    dynamic:
+        True — the rule runs once per lint invocation via
+        :meth:`check_project` (importing and probing real modules)
+        instead of per-file over an AST.
+    meta:
+        True — the code is emitted by the engine itself (syntax errors,
+        suppression problems); meta codes are not suppressible.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    invariant: str = ""
+    established: str = ""
+    library_only: bool = False
+    dynamic: bool = False
+    meta: bool = False
+
+    def check_file(self, ctx: FileContext):
+        """Yield :class:`Finding` objects for one parsed file."""
+        return ()
+
+    def check_project(self, roots):
+        """Yield findings for a whole invocation (dynamic rules)."""
+        return ()
+
+
+_REGISTRY: dict[str, Rule] = {}
+_RULES_LOADED = False
+
+
+def register(cls):
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = cls()
+    if not _CODE_RE.match(rule.code):
+        raise ValueError(
+            f"rule code must match RPLnnn, got {rule.code!r}"
+        )
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def _load_rules() -> None:
+    global _RULES_LOADED
+    if _RULES_LOADED:
+        return
+    _RULES_LOADED = True
+    # Importing the rules package registers every rule via @register.
+    import repro.analysis.lint.rules  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by code."""
+    _load_rules()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    _load_rules()
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise LintError(f"unknown rule code {code!r}") from None
+
+
+def known_codes() -> frozenset:
+    _load_rules()
+    return frozenset(_REGISTRY)
+
+
+# -- engine meta rules (emitted by the engine, not by a visitor) -------------
+
+
+@register
+class SyntaxErrorRule(Rule):
+    code = "RPL000"
+    name = "syntax-error"
+    summary = "file does not parse; no other rule can run"
+    invariant = "lintability itself"
+    established = "PR 9"
+    meta = True
+
+
+@register
+class MalformedSuppression(Rule):
+    code = "RPL090"
+    name = "malformed-suppression"
+    summary = "a 'repro: allow' comment that does not parse"
+    invariant = "every suppression carries codes and a justification"
+    established = "PR 9"
+    meta = True
+
+
+@register
+class UnknownSuppressionCode(Rule):
+    code = "RPL091"
+    name = "unknown-suppression-code"
+    summary = "a suppression references an unknown or non-suppressible code"
+    invariant = "suppressions stay in sync with the rule registry"
+    established = "PR 9"
+    meta = True
+
+
+@register
+class StaleSuppression(Rule):
+    code = "RPL092"
+    name = "stale-suppression"
+    summary = "a suppression no longer matches any finding on its line"
+    invariant = "suppressions are removed when the violation is fixed"
+    established = "PR 9"
+    meta = True
+
+
+# -- per-file context --------------------------------------------------------
+
+
+def _dotted(node) -> list | None:
+    """``a.b.c`` attribute/name chain as parts, or ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _collect_aliases(tree) -> dict:
+    """Map local names to the qualified names their imports bind."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                qualified = (
+                    f"{module}.{alias.name}" if module else alias.name
+                )
+                aliases[local] = qualified
+    return aliases
+
+
+class FileContext:
+    """Everything a per-file rule needs: source, AST, import aliases."""
+
+    def __init__(self, path: str, source: str, tree, is_test: bool):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.is_test = is_test
+        self.aliases = _collect_aliases(tree)
+
+    def qualname(self, node) -> str | None:
+        """Resolve an expression to a dotted name through the imports.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` under
+        ``import numpy as np``; ``now()`` resolves to
+        ``datetime.datetime.now`` under ``from datetime import
+        datetime`` + attribute access, and so on.  ``None`` when the
+        expression is not a plain name/attribute chain.
+        """
+        parts = _dotted(node)
+        if not parts:
+            return None
+        base = self.aliases.get(parts[0])
+        if base is not None:
+            parts = base.split(".") + parts[1:]
+        return ".".join(parts)
+
+    def call_name(self, call) -> str | None:
+        """Qualified name of a call's target (or ``None``)."""
+        return self.qualname(call.func)
+
+    def finding(self, rule: Rule, node, message: str) -> Finding:
+        return Finding(
+            code=rule.code,
+            message=message,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+# -- file discovery ----------------------------------------------------------
+
+
+def is_test_file(path) -> bool:
+    """Test files: under a ``tests`` directory or named ``test_*.py``."""
+    p = Path(path)
+    return "tests" in p.parts or p.name.startswith("test_")
+
+
+def iter_python_files(paths):
+    """Expand path arguments into the ordered list of files to lint."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if any(part in EXCLUDED_DIR_NAMES for part in f.parts):
+                    continue
+                seen.setdefault(f, None)
+        elif p.is_file():
+            if p.suffix == ".py":
+                seen.setdefault(p, None)
+        else:
+            raise LintError(f"path {raw!r} does not exist")
+    return list(seen)
+
+
+# -- the engine --------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint invocation."""
+
+    findings: list
+    files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def _resolve_select(select) -> frozenset:
+    if select is None:
+        return known_codes()
+    chosen = []
+    for code in select:
+        code = code.strip()
+        if not code:
+            continue
+        if code not in known_codes():
+            raise LintError(
+                f"unknown rule code {code!r} in --select "
+                f"(known: {', '.join(sorted(known_codes()))})"
+            )
+        chosen.append(code)
+    if not chosen:
+        raise LintError("--select named no rules")
+    return frozenset(chosen)
+
+
+def _apply_suppressions(path, source, raw_findings, selected):
+    """Filter findings through the file's suppression comments.
+
+    Returns the surviving findings plus the engine's meta findings:
+    malformed suppressions (RPL090), unknown/non-suppressible codes
+    (RPL091) and stale suppressions (RPL092).  Staleness is only
+    reported when every code a suppression names was actually checked
+    in this invocation — a ``--select`` subset must not flag the
+    suppressions of the rules it skipped.
+    """
+    suppressions, problems = parse_suppressions(source)
+    out: list[Finding] = []
+    if "RPL090" in selected:
+        for prob in problems:
+            out.append(Finding(
+                code="RPL090", message=prob.message,
+                path=path, line=prob.line,
+            ))
+    valid = []
+    for supp in suppressions:
+        bad = None
+        for code in supp.codes:
+            if code not in known_codes():
+                bad = f"suppression names unknown rule code {code!r}"
+            elif get_rule(code).meta:
+                bad = (
+                    f"engine code {code} is not suppressible — fix the "
+                    f"suppression itself instead"
+                )
+            if bad:
+                break
+        if bad:
+            if "RPL091" in selected:
+                out.append(Finding(
+                    code="RPL091", message=bad,
+                    path=path, line=supp.comment_line,
+                ))
+        else:
+            valid.append(supp)
+    for finding in raw_findings:
+        matched = None
+        for supp in valid:
+            if (finding.line == supp.target_line
+                    and finding.code in supp.codes):
+                matched = supp
+                break
+        if matched is not None:
+            matched.used = True
+        else:
+            out.append(finding)
+    if "RPL092" in selected:
+        for supp in valid:
+            if supp.used or not all(c in selected for c in supp.codes):
+                continue
+            out.append(Finding(
+                code="RPL092",
+                message=(
+                    f"stale suppression allow[{','.join(supp.codes)}]: "
+                    f"no matching finding on line {supp.target_line} — "
+                    f"remove it (reason was: {supp.reason})"
+                ),
+                path=path, line=supp.comment_line,
+            ))
+    return out
+
+
+def _lint_file(path: Path, rules, selected) -> list:
+    source = path.read_text(encoding="utf-8")
+    str_path = str(path)
+    try:
+        tree = ast.parse(source, filename=str_path)
+    except SyntaxError as exc:
+        return [Finding(
+            code="RPL000",
+            message=f"syntax error: {exc.msg}",
+            path=str_path, line=exc.lineno or 1,
+        )]
+    ctx = FileContext(str_path, source, tree, is_test_file(path))
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.dynamic or rule.meta or rule.code not in selected:
+            continue
+        if rule.library_only and ctx.is_test:
+            continue
+        raw.extend(rule.check_file(ctx))
+    return _apply_suppressions(str_path, source, raw, selected)
+
+
+def _within_roots(path: str, roots) -> bool:
+    resolved = Path(path).resolve()
+    for root in roots:
+        try:
+            resolved.relative_to(root)
+        except ValueError:
+            continue
+        return True
+    return False
+
+
+def lint_paths(paths, select=None, dynamic=True) -> LintResult:
+    """Lint files/directories; the API behind ``repro lint``.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories.  Directories are walked recursively
+        (skipping :data:`EXCLUDED_DIR_NAMES`); explicit files are always
+        linted, wherever they live.
+    select:
+        Optional iterable of ``RPL`` codes restricting the run.
+    dynamic:
+        Run the semi-dynamic project rules (module import + pickle
+        probes).  Their findings are only reported when the offending
+        module's source file lies under one of ``paths``.
+    """
+    selected = _resolve_select(select)
+    rules = all_rules()
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(_lint_file(path, rules, selected))
+    if dynamic:
+        roots = [Path(p).resolve() for p in paths]
+        for rule in rules:
+            if not rule.dynamic or rule.code not in selected:
+                continue
+            for finding in rule.check_project(roots):
+                if _within_roots(finding.path, roots):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return LintResult(findings=findings, files=len(files))

@@ -1,0 +1,58 @@
+"""Reporters for lint results: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_text", "render_json", "render_rule_table"]
+
+
+def render_text(result) -> str:
+    """GCC-style ``path:line:col: CODE message`` lines plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.code} {f.message}"
+        for f in result.findings
+    ]
+    if result.findings:
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files} file(s)"
+        )
+    else:
+        lines.append(f"clean: {result.files} file(s), 0 findings")
+    return "\n".join(lines)
+
+
+def render_json(result) -> str:
+    """Stable JSON for CI gates and tooling."""
+    return json.dumps(
+        {
+            "version": 1,
+            "files": result.files,
+            "count": len(result.findings),
+            "findings": [f.as_dict() for f in result.findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_rule_table(rules) -> str:
+    """The ``--list-rules`` listing: code, flags, invariant, origin."""
+    lines = []
+    for rule in rules:
+        flags = []
+        if rule.meta:
+            flags.append("meta")
+        if rule.dynamic:
+            flags.append("dynamic")
+        if rule.library_only:
+            flags.append("library-only")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        lines.append(f"{rule.code} {rule.name}{suffix}")
+        lines.append(f"    {rule.summary}")
+        if rule.invariant:
+            lines.append(
+                f"    guards: {rule.invariant} ({rule.established})"
+            )
+    return "\n".join(lines)

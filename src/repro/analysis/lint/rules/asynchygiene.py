@@ -1,0 +1,106 @@
+"""Async-hygiene rules (RPL030).
+
+``repro serve`` (PR 8) is a single-process asyncio daemon whose
+availability story — bounded admission, per-job deadlines, draining
+SIGTERM shutdown — only holds while the event loop keeps turning.  One
+blocking call directly inside a coroutine (a sleep, a subprocess wait,
+a synchronous ``Executor.run`` march) freezes admission, deadline
+checks and the drain at once.  The established boundary is
+``asyncio.to_thread``: job bodies run in a worker thread, the loop only
+awaits.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.lint.core import Rule, register
+
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.waitpid",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+})
+
+#: Socket-ish method names that block regardless of the receiver.
+BLOCKING_METHODS = frozenset({
+    "recv", "recv_into", "recvfrom", "accept", "sendall", "makefile",
+})
+
+#: A blocking simulation march: ``.run(...)`` / ``.sweep(...)`` on an
+#: executor/session/scheduler-shaped receiver.
+_MARCH_METHODS = frozenset({"run", "sweep"})
+_MARCH_RECEIVER_RE = re.compile(
+    r"(executor|session|scheduler|worker|runner|pool)", re.IGNORECASE
+)
+
+
+def _shallow_walk(stmts):
+    """Walk a coroutine body without entering nested function scopes."""
+    stack = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue
+            stack.append(child)
+
+
+@register
+class BlockingCallInAsync(Rule):
+    code = "RPL030"
+    name = "blocking-call-in-async"
+    summary = ("time.sleep/subprocess/socket recv/Executor.run directly "
+               "inside async def — enforce the asyncio.to_thread "
+               "boundary")
+    invariant = ("the serve daemon's event loop never blocks: "
+                 "admission, deadlines and the SIGTERM drain stay live "
+                 "while job bodies run in worker threads")
+    established = "PR 8"
+
+    def check_file(self, ctx):
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in _shallow_walk(fn.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                qn = ctx.call_name(node)
+                if qn in BLOCKING_CALLS:
+                    yield ctx.finding(
+                        self, node,
+                        f"blocking {qn}() inside async def {fn.name}: "
+                        f"the event loop stalls until it returns — "
+                        f"await asyncio.to_thread(...) (or the async "
+                        f"equivalent, e.g. asyncio.sleep)",
+                    )
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                method = node.func.attr
+                if method in BLOCKING_METHODS:
+                    yield ctx.finding(
+                        self, node,
+                        f"blocking socket-style .{method}() inside "
+                        f"async def {fn.name}: use the asyncio stream "
+                        f"APIs or asyncio.to_thread",
+                    )
+                elif method in _MARCH_METHODS:
+                    receiver = ast.unparse(node.func.value)
+                    if _MARCH_RECEIVER_RE.search(receiver):
+                        yield ctx.finding(
+                            self, node,
+                            f"{receiver}.{method}(...) is a blocking "
+                            f"simulation march inside async def "
+                            f"{fn.name}: run job bodies through "
+                            f"asyncio.to_thread so the loop keeps "
+                            f"answering pings and deadlines",
+                        )

@@ -1,0 +1,185 @@
+"""Fork- and shared-memory-lifecycle rules (RPL010-RPL012).
+
+The zero-copy transport (PR 3) hands ``/dev/shm`` segments from worker
+to parent; PR 8 closed the remaining leak windows with registered
+sweeps (``new_segment_prefix`` remembers every prefix until its
+``cleanup_segments`` runs, ``atexit``/SIGTERM hooks reclaim the rest).
+The fork-started worker pool additionally showed (PR 8) that objects
+captured at initializer time — locks, event loops, signal wakeup fds —
+are silently shared with the parent and corrupt it from the child.
+These rules keep both lifecycles honest at commit time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.lint.core import Rule, register
+
+SEGMENT_CALLS = frozenset({"new_segment", "new_segment_prefix"})
+SWEEP_NAMES = frozenset({
+    "cleanup_segments", "sweep_run_segments", "install_signal_sweep",
+})
+
+#: Identifier tokens that smell like live concurrency state.
+_SUSPECT_TOKENS = frozenset({
+    "lock", "rlock", "thread", "loop", "queue", "event", "semaphore",
+    "condition", "socket", "pipe", "writer", "reader",
+})
+
+_IDENT_RE = re.compile(r"[A-Za-z]+")
+
+
+def _terminal_name(node) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _suspect_tokens(text: str):
+    tokens = set()
+    for ident in _IDENT_RE.findall(text.lower()):
+        if ident in _SUSPECT_TOKENS:
+            tokens.add(ident)
+    return sorted(tokens)
+
+
+@register
+class UnsweptSegmentPrefix(Rule):
+    code = "RPL010"
+    name = "unswept-segment-prefix"
+    summary = ("new_segment_prefix()/new_segment() call without a "
+               "registered sweep in the same module")
+    invariant = ("every /dev/shm prefix is reclaimed on failure and "
+                 "exit: no leaked segments survive the process")
+    established = "PR 3/8"
+
+    def check_file(self, ctx):
+        sites = []
+        has_sweep = False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _terminal_name(node.func)
+                if name in SEGMENT_CALLS:
+                    sites.append((node, name))
+            name = _terminal_name(node)
+            if name in SWEEP_NAMES:
+                has_sweep = True
+        if has_sweep:
+            return
+        for node, name in sites:
+            yield ctx.finding(
+                self, node,
+                f"{name}() allocates a /dev/shm namespace but this "
+                f"module never references cleanup_segments/"
+                f"sweep_run_segments/install_signal_sweep — a crashed "
+                f"consumer leaks the segments",
+            )
+
+
+@register
+class PoolInitializerCapture(Rule):
+    code = "RPL011"
+    name = "pool-initializer-capture"
+    summary = ("process-pool initializer/initargs capturing locks, "
+               "threads, loops or sockets")
+    invariant = ("worker processes rebuild concurrency state from "
+                 "plain data; a forked lock/loop/wakeup-fd is shared "
+                 "with the parent and corrupts it from the child")
+    established = "PR 8"
+
+    def check_file(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+            if "initializer" not in kwargs:
+                continue
+            init = kwargs["initializer"]
+            if isinstance(init, ast.Lambda):
+                yield ctx.finding(
+                    self, init,
+                    "pool initializer is a lambda: it closes over the "
+                    "parent's live state and cannot pickle under spawn "
+                    "— use a module-level function",
+                )
+            initargs = kwargs.get("initargs")
+            if initargs is None:
+                continue
+            elts = (
+                initargs.elts
+                if isinstance(initargs, (ast.Tuple, ast.List))
+                else [initargs]
+            )
+            for elt in elts:
+                tokens = _suspect_tokens(ast.unparse(elt))
+                if tokens:
+                    yield ctx.finding(
+                        self, elt,
+                        f"initargs element {ast.unparse(elt)!r} looks "
+                        f"like live {'/'.join(tokens)} state; ship "
+                        f"plain data and rebuild concurrency objects "
+                        f"inside the worker",
+                    )
+
+
+#: Roots whose calls are unsafe from a Python signal handler: they can
+#: block on, or deadlock with, state the interrupted main thread holds.
+_UNSAFE_HANDLER_ROOTS = frozenset({
+    "threading", "multiprocessing", "subprocess", "logging", "queue",
+    "concurrent",
+})
+_UNSAFE_HANDLER_METHODS = frozenset({"acquire"})
+
+
+@register
+class SignalHandlerSafety(Rule):
+    code = "RPL012"
+    name = "signal-handler-safety"
+    summary = ("signal handlers doing non-async-signal-safe work "
+               "(locks, threads, logging)")
+    invariant = ("handlers installed with signal.signal() only sweep "
+                 "files, set flags and re-raise — they interrupt "
+                 "arbitrary bytecode, so anything that can hold a lock "
+                 "can deadlock")
+    established = "PR 8"
+
+    def check_file(self, ctx):
+        defs = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs[node.name] = node
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.call_name(node) != "signal.signal":
+                continue
+            if len(node.args) < 2:
+                continue
+            handler = node.args[1]
+            if not isinstance(handler, ast.Name):
+                continue  # SIG_DFL/SIG_IGN or an expression
+            fn = defs.get(handler.id)
+            if fn is None:
+                continue
+            for sub in ast.walk(fn):
+                if not isinstance(sub, ast.Call):
+                    continue
+                qn = ctx.call_name(sub) or ""
+                root = qn.split(".")[0]
+                method = (
+                    sub.func.attr
+                    if isinstance(sub.func, ast.Attribute) else None
+                )
+                if (root in _UNSAFE_HANDLER_ROOTS
+                        or method in _UNSAFE_HANDLER_METHODS):
+                    yield ctx.finding(
+                        self, sub,
+                        f"signal handler {fn.name}() calls "
+                        f"{qn or method}: handlers interrupt arbitrary "
+                        f"bytecode — restrict them to async-signal-safe "
+                        f"work (sweep files, set a flag, re-raise)",
+                    )

@@ -1,0 +1,299 @@
+"""Picklability rules (RPL020-RPL021) — semi-dynamic.
+
+Every cross-process message (PR 1) travels by pickle: the scheduler's
+``SimulationTask``/``NodeResult``/``DistributedResult``, compiled plans
+and scenarios shipped to persistent pools (PR 5), retry policies (PR 8)
+and the serve daemon's config.  A field that sneaks in a lock, a
+socket, an event loop or a lambda breaks the executor at runtime, on
+the first multiprocess run, far from the edit that caused it.
+
+Unlike the AST rules this checker **imports the real modules**: for
+every *public* dataclass defined in a target module it (a) walks the
+declared field types against a denylist of never-picklable leaves,
+recursing through nested project dataclasses, and (b) when a probe
+instance can be synthesized from defaults and primitive field types,
+pickle-round-trips it and compares the fields.  Private (``_``-prefixed)
+dataclasses are process-local by convention and skipped — e.g. the
+serve daemon's ``_Job`` deliberately holds its client's stream writer.
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import dataclasses
+import importlib
+import importlib.util
+import inspect
+import pickle
+import types
+import typing
+
+from repro.analysis.lint.core import Finding, Rule, register
+
+#: Modules whose public dataclasses form the cross-process surface.
+TARGET_MODULES = (
+    "repro.dist.messages",
+    "repro.dist.supervision",
+    "repro.serve.protocol",
+    "repro.serve.daemon",
+    "repro.plan.scenario",
+    "repro.plan.plan",
+)
+
+#: Leaf types from these modules can never cross a process boundary.
+DENY_MODULE_PREFIXES = (
+    "threading", "_thread", "asyncio", "socket", "select", "selectors",
+    "io", "weakref", "ctypes", "subprocess",
+    "multiprocessing.pool", "multiprocessing.queues",
+    "multiprocessing.synchronize", "multiprocessing.connection",
+    "concurrent.futures",
+)
+
+_DENY_TYPES = (
+    types.FunctionType, types.LambdaType, types.GeneratorType,
+    types.CoroutineType, types.ModuleType, types.FrameType,
+)
+
+_PRIMITIVE_SYNTH = {
+    int: 1, float: 1.0, bool: True, str: "probe", bytes: b"probe",
+}
+
+_CANT = object()
+
+
+def _leaf_problems(ann, seen) -> list:
+    """Offending type names reachable from one field annotation."""
+    if ann is None or ann is type(None) or ann is typing.Any:
+        return []
+    origin = typing.get_origin(ann)
+    if origin is collections.abc.Callable:
+        return ["Callable (lambdas/bound methods do not pickle)"]
+    if origin is not None:
+        out = []
+        for arg in typing.get_args(ann):
+            if arg is Ellipsis:
+                continue
+            out.extend(_leaf_problems(arg, seen))
+        return out
+    if not isinstance(ann, type):
+        return []  # unresolved forward reference / typing special form
+    if issubclass(ann, _DENY_TYPES):
+        return [ann.__name__]
+    module = ann.__module__ or ""
+    for prefix in DENY_MODULE_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return [f"{module}.{ann.__qualname__}"]
+    if dataclasses.is_dataclass(ann) and module.startswith("repro."):
+        if ann in seen:
+            return []
+        seen.add(ann)
+        out = []
+        try:
+            hints = typing.get_type_hints(ann)
+        except Exception:
+            hints = {}
+        for f in dataclasses.fields(ann):
+            for problem in _leaf_problems(hints.get(f.name), seen):
+                out.append(f"{ann.__name__}.{f.name}: {problem}")
+        return out
+    return []
+
+
+def _synthesize(ann):
+    """A probe value for one annotation, or ``_CANT``."""
+    if ann is None or ann is typing.Any or ann is object:
+        return None
+    origin = typing.get_origin(ann)
+    if origin is typing.Union or origin is types.UnionType:
+        args = typing.get_args(ann)
+        if type(None) in args:
+            return None
+        for arg in args:
+            value = _synthesize(arg)
+            if value is not _CANT:
+                return value
+        return _CANT
+    if origin in (tuple, collections.abc.Sequence):
+        return ()
+    if origin in (list,):
+        return []
+    if origin in (dict, collections.abc.Mapping):
+        return {}
+    if origin in (set, frozenset):
+        return frozenset()
+    if isinstance(ann, type):
+        if ann in _PRIMITIVE_SYNTH:
+            return _PRIMITIVE_SYNTH[ann]
+        if ann is tuple:
+            return ()
+        if ann is dict:
+            return {}
+        if ann is list:
+            return []
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            return _CANT
+        if issubclass(ann, np.ndarray):
+            return np.zeros(1)
+    return _CANT
+
+
+def _construct_probe(cls, hints):
+    """Best-effort probe instance, or ``None`` when not synthesizable."""
+    try:
+        sig = inspect.signature(cls)
+    except (TypeError, ValueError):
+        return None
+    kwargs = {}
+    for param in sig.parameters.values():
+        if param.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        if param.default is not inspect.Parameter.empty:
+            continue
+        ann = hints.get(param.name)
+        if ann is None and param.annotation is not inspect.Parameter.empty:
+            ann = param.annotation
+        value = _synthesize(ann)
+        if value is _CANT:
+            return None
+        kwargs[param.name] = value
+    try:
+        return cls(**kwargs)
+    except Exception:
+        # The class's own validation rejected the synthetic values —
+        # the round-trip probe is skipped, the type check still ran.
+        return None
+
+
+def _fields_equal(a, b) -> bool:
+    try:
+        import numpy as np
+
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return bool(np.array_equal(a, b))
+    except ImportError:  # pragma: no cover
+        pass
+    try:
+        return bool(a == b)
+    except Exception:
+        return True  # incomparable payloads: the round-trip itself passed
+
+
+def _anchor(cls):
+    """(path, line) of a class definition, best effort."""
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        _, line = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        return "<unknown>", 1
+    return path, line
+
+
+def check_modules(module_names=TARGET_MODULES):
+    """Run both picklability checks over ``module_names``.
+
+    Returns every RPL020/RPL021 finding; the two registered rules each
+    filter this shared pass by their own code.
+    """
+    findings: list[Finding] = []
+    for mod_name in module_names:
+        try:
+            mod = importlib.import_module(mod_name)
+        except Exception as exc:
+            spec = None
+            try:
+                spec = importlib.util.find_spec(mod_name)
+            except Exception:
+                pass
+            path = getattr(spec, "origin", None) or "<unknown>"
+            findings.append(Finding(
+                code="RPL020",
+                message=f"cannot import message module {mod_name}: "
+                        f"{type(exc).__name__}: {exc}",
+                path=path, line=1,
+            ))
+            continue
+        for obj in vars(mod).values():
+            if not (isinstance(obj, type)
+                    and dataclasses.is_dataclass(obj)
+                    and obj.__module__ == mod.__name__
+                    and not obj.__name__.startswith("_")):
+                continue
+            findings.extend(_check_dataclass(obj))
+    return findings
+
+
+def _check_dataclass(cls):
+    findings = []
+    path, line = _anchor(cls)
+    try:
+        hints = typing.get_type_hints(cls)
+    except Exception:
+        hints = {}
+    for f in dataclasses.fields(cls):
+        for problem in _leaf_problems(hints.get(f.name), {cls}):
+            findings.append(Finding(
+                code="RPL020",
+                message=f"field {cls.__name__}.{f.name} declares "
+                        f"{problem}: it cannot cross a process "
+                        f"boundary by pickle",
+                path=path, line=line,
+            ))
+    obj = _construct_probe(cls, hints)
+    if obj is None:
+        return findings
+    try:
+        clone = pickle.loads(pickle.dumps(obj))
+    except Exception as exc:
+        findings.append(Finding(
+            code="RPL021",
+            message=f"{cls.__name__} probe instance failed the pickle "
+                    f"round-trip: {type(exc).__name__}: {exc}",
+            path=path, line=line,
+        ))
+        return findings
+    for f in dataclasses.fields(cls):
+        a, b = getattr(obj, f.name), getattr(clone, f.name)
+        if not _fields_equal(a, b):
+            findings.append(Finding(
+                code="RPL021",
+                message=f"field {cls.__name__}.{f.name} changed across "
+                        f"the pickle round-trip ({a!r} -> {b!r})",
+                path=path, line=line,
+            ))
+    return findings
+
+
+@register
+class MessageFieldTypes(Rule):
+    code = "RPL020"
+    name = "message-field-types"
+    summary = ("cross-process message dataclasses declare only "
+               "picklable field types (semi-dynamic: imports the real "
+               "modules)")
+    invariant = ("every scheduler/plan/serve message crosses process "
+                 "boundaries by pickle")
+    established = "PR 1"
+    dynamic = True
+
+    def check_project(self, roots):
+        return [f for f in check_modules() if f.code == self.code]
+
+
+@register
+class MessageRoundTrip(Rule):
+    code = "RPL021"
+    name = "message-pickle-round-trip"
+    summary = ("synthesized message instances survive a pickle "
+               "round-trip with identical fields (semi-dynamic)")
+    invariant = ("pickling a message is lossless — executors rely on "
+                 "task/result payloads surviving the pipe bit-for-bit")
+    established = "PR 1"
+    dynamic = True
+
+    def check_project(self, roots):
+        return [f for f in check_modules() if f.code == self.code]

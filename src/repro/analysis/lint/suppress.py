@@ -1,0 +1,131 @@
+"""Suppression comments: ``repro: allow[CODE,...] reason``.
+
+A finding is silenced by a comment naming its rule code **with a
+written justification**, either trailing the offending line::
+
+    if beta == 0.0:  # repro: allow[RPL005] exact breakdown sentinel
+
+or on its own line directly above it::
+
+    # repro: allow[RPL005] exact breakdown sentinel
+    if beta == 0.0:
+
+Comments are extracted with :mod:`tokenize`, so the syntax can be
+*mentioned* in strings and docstrings (like this one) without being
+parsed as a suppression.  Malformed attempts (missing brackets, empty
+code list, no reason) are never silently ignored — the engine reports
+them as ``RPL090`` findings, unknown or non-suppressible codes as
+``RPL091``, and suppressions that no longer match a finding as
+``RPL092`` (stale).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "SuppressionProblem", "parse_suppressions"]
+
+#: Anything that *looks like* a suppression attempt.  Parsed strictly by
+#: :data:`_STRICT_RE`; attempts that miss the strict form are malformed.
+_ATTEMPT_RE = re.compile(r"#\s*repro\s*:\s*allow\b")
+
+_STRICT_RE = re.compile(
+    r"#\s*repro\s*:\s*allow\[(?P<codes>[^\]]*)\]\s*(?P<reason>.*)\Z"
+)
+
+_CODE_TOKEN_RE = re.compile(r"[A-Za-z]+\d+\Z")
+
+
+@dataclass
+class Suppression:
+    """One well-formed allow comment."""
+
+    codes: tuple
+    reason: str
+    comment_line: int
+    target_line: int
+    used: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class SuppressionProblem:
+    """A malformed allow attempt (reported as RPL090)."""
+
+    line: int
+    message: str
+
+
+def _iter_comments(source: str):
+    """(line, col, text, line_text) for every real comment token."""
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string, tok.line
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files already fail lint with RPL000.
+        return
+
+
+def parse_suppressions(source: str):
+    """Extract ``(suppressions, problems)`` from a file's comments."""
+    suppressions: list[Suppression] = []
+    problems: list[SuppressionProblem] = []
+    for line, col, text, line_text in _iter_comments(source):
+        if not _ATTEMPT_RE.search(text):
+            continue
+        match = _STRICT_RE.search(text)
+        if not match:
+            problems.append(SuppressionProblem(
+                line=line,
+                message=(
+                    "malformed suppression: expected "
+                    "'# repro: allow[RPL0xx,...] reason'"
+                ),
+            ))
+            continue
+        codes = tuple(
+            c.strip() for c in match.group("codes").split(",")
+            if c.strip()
+        )
+        reason = match.group("reason").strip()
+        if not codes:
+            problems.append(SuppressionProblem(
+                line=line,
+                message="suppression names no rule codes: allow[] is empty",
+            ))
+            continue
+        bad_tokens = [c for c in codes if not _CODE_TOKEN_RE.match(c)]
+        if bad_tokens:
+            problems.append(SuppressionProblem(
+                line=line,
+                message=(
+                    f"suppression code list does not parse "
+                    f"({', '.join(map(repr, bad_tokens))}): expected "
+                    f"comma-separated RPL0xx codes"
+                ),
+            ))
+            continue
+        if not reason:
+            problems.append(SuppressionProblem(
+                line=line,
+                message=(
+                    f"suppression allow[{','.join(codes)}] has no "
+                    f"justification — every suppression must say why "
+                    f"the violation is intentional"
+                ),
+            ))
+            continue
+        # Trailing a statement → suppresses that line; standalone → the
+        # line below.
+        standalone = not line_text[:col].strip()
+        suppressions.append(Suppression(
+            codes=codes,
+            reason=reason,
+            comment_line=line,
+            target_line=line + 1 if standalone else line,
+        ))
+    return suppressions, problems

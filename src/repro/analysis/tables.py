@@ -27,7 +27,7 @@ class Table:
     @staticmethod
     def _fmt(cell) -> str:
         if isinstance(cell, float):
-            if cell == 0.0:
+            if cell == 0.0:  # repro: allow[RPL005] exact zero renders as "0" in tables
                 return "0"
             if abs(cell) >= 1e4 or abs(cell) < 1e-3:
                 return f"{cell:.3g}"

@@ -51,6 +51,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.droop import droop_report
+from repro.analysis.lint.cli import add_lint_arguments, run_lint
 from repro.baselines.fixed_step import dc_operating_point
 from repro.circuit.ingest import ingest_file
 from repro.circuit.mna import assemble
@@ -258,6 +259,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(see sweep --rom)")
     _add_supervision_options(serve, serving=True)
     _add_cache_options(serve)
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-invariant static analysis (RPL rules)",
+        description="Lint source trees against the project invariants: "
+                    "determinism (RPL001-RPL005), fork/shm lifecycle "
+                    "safety (RPL010-RPL012), message picklability "
+                    "(RPL020-RPL021) and async hygiene (RPL030).  "
+                    "Exit 0 clean, 1 findings, 2 usage error.",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -861,6 +873,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
+        "lint": run_lint,
     }
     return handlers[args.command](args)
 

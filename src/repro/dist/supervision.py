@@ -105,7 +105,7 @@ class RetryPolicy:
     def delay(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (0-based), jittered."""
         base = self.backoff * self.backoff_factor ** attempt
-        if base <= 0.0 or self.jitter == 0.0:
+        if base <= 0.0 or self.jitter == 0.0:  # repro: allow[RPL005] jitter=0.0 is the exact "disabled" sentinel
             return base
         u = random.Random(f"{self.seed}:{attempt}").random()
         return base * (1.0 + self.jitter * u)

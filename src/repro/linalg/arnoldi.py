@@ -160,7 +160,7 @@ def arnoldi(
     m_cap = min(m_max, n)
 
     beta = float(np.linalg.norm(v))
-    if beta == 0.0:
+    if beta == 0.0:  # repro: allow[RPL005] exact Krylov-breakdown sentinel (norm of the zero vector)
         # Zero start vector: exp(hA)·0 = 0 exactly; report a trivially
         # converged empty subspace.
         return ArnoldiResult(

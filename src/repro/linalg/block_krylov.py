@@ -203,7 +203,7 @@ class FastHessenberg:
         lu, piv, info = _GETRF(h_square)
         self._factors = (lu, piv)
         diag = np.abs(np.diag(lu))
-        self.singular = bool(self.m) and float(diag.min()) == 0.0
+        self.singular = bool(self.m) and float(diag.min()) == 0.0  # repro: allow[RPL005] exact zero pivot is the singularity sentinel
 
     def _shifted_factors(self):
         delta = 1e-30 * (1.0 + float(np.abs(self.h_square).max()))
@@ -529,7 +529,7 @@ def build_bases_block(
     tiny = np.finfo(float).tiny
 
     for c in cols:
-        if c.beta == 0.0:
+        if c.beta == 0.0:  # repro: allow[RPL005] exact Krylov-breakdown sentinel, like arnoldi()
             continue  # trivially converged empty subspace, like arnoldi()
         c.cap = _initial_capacity(m_cap)
         c.V = np.empty((n, c.cap + 1))

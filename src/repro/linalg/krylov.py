@@ -217,7 +217,7 @@ class KrylovBasis:
                 Y[k] = self.beta * (
                     self.Vm @ np.ascontiguousarray(cols[:, k])
                 )
-        if not with_errors or self.err_row is None or self.h_next == 0.0:
+        if not with_errors or self.err_row is None or self.h_next == 0.0:  # repro: allow[RPL005] exact happy-breakdown sentinel
             return Y, np.zeros(K)
         dots = self.err_row[0] * cols[0, :]
         for j in range(1, self.m):
@@ -237,7 +237,7 @@ class KrylovBasis:
         normally the error only shrinks as ``h`` grows (paper Fig. 5),
         and this check catches the exceptions.
         """
-        if self.m == 0 or self.err_row is None or self.h_next == 0.0:
+        if self.m == 0 or self.err_row is None or self.h_next == 0.0:  # repro: allow[RPL005] exact happy-breakdown sentinel
             return 0.0
         _, errs = self.evaluate_many([h])
         return float(errs[0])
@@ -281,7 +281,7 @@ class HessenbergFactors:
             warnings.simplefilter("ignore")
             self._factors = scipy.linalg.lu_factor(h_square)
         diag = np.abs(np.diag(self._factors[0]))
-        self.singular = bool(self.m) and float(diag.min()) == 0.0
+        self.singular = bool(self.m) and float(diag.min()) == 0.0  # repro: allow[RPL005] exact zero pivot is the singularity sentinel
 
     def _shifted_factors(self):
         """Factors of the identity-shifted block (singular fallback)."""

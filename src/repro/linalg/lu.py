@@ -252,7 +252,7 @@ def canonical_shift(gamma: float, sig_digits: int = 12) -> float:
     like ``1e-10`` or ``5e-11``) round-trip unchanged.
     """
     g = float(gamma)
-    if g == 0.0 or not math.isfinite(g):
+    if g == 0.0 or not math.isfinite(g):  # repro: allow[RPL005] exact zero passes through rounding unchanged
         return g
     return float(f"{g:.{sig_digits - 1}e}")
 

@@ -98,7 +98,7 @@ def corner_scenarios(
     for d in deratings:
         if d <= 0.0:
             raise ValueError(f"derating factors must be positive, got {d}")
-        if d == 1.0:
+        if d == 1.0:  # repro: allow[RPL005] derating exactly 1.0 means the untouched nominal corner
             scenarios.append(Scenario(name="corner-nominal"))
         else:
             scenarios.append(

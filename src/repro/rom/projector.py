@@ -156,7 +156,7 @@ def rational_krylov_basis(
     # Column-normalise so the pivoted QR ranks *directions*, not input
     # magnitudes (a microamp load deserves the same chance as a rail).
     norms = np.linalg.norm(cand, axis=0)
-    dead = norms == 0.0
+    dead = norms == 0.0  # repro: allow[RPL005] exactly-zero columns only; near-zero must keep their scale
     norms[dead] = 1.0
     n_candidates = cand.shape[1]
 
@@ -167,7 +167,7 @@ def rational_krylov_basis(
 
     diag = np.abs(np.diag(R))
     lead = diag[0] if diag.size else 0.0
-    if lead == 0.0:
+    if lead == 0.0:  # repro: allow[RPL005] exact zero leading pivot: all columns numerically zero
         raise RomBuildError(
             "all candidate columns are numerically zero: the inputs do "
             "not excite the system"

@@ -1,11 +1,47 @@
-"""Shared fixtures: small deterministic circuits for the whole suite."""
+"""Shared fixtures: small deterministic circuits for the whole suite,
+plus the /dev/shm leak sanitizer guarding the segment lifecycle."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.circuit import Netlist, Pulse, assemble
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_sanitizer():
+    """Fail the suite if any ``repro*`` /dev/shm segment survives it.
+
+    The zero-copy transport names every segment ``repro{pid}x...``
+    (``repro.dist.shm.new_segment_prefix``) and guarantees reclamation
+    through per-failure sweeps plus atexit/signal hooks.  A segment
+    still present after the session means some code path allocated
+    outside that lifecycle — the sanitizer reclaims it so one leak
+    cannot poison later runs, then fails loudly.
+    """
+    shm = Path("/dev/shm")
+    if not shm.is_dir():  # non-Linux: transport falls back off-shm
+        yield
+        return
+    before = {p.name for p in shm.glob("repro*")}
+    yield
+    leaked = sorted(
+        p.name for p in shm.glob("repro*") if p.name not in before
+    )
+    for name in leaked:
+        try:
+            (shm / name).unlink()
+        except OSError:
+            pass
+    if leaked:
+        pytest.fail(
+            "leaked /dev/shm segments survived the test session "
+            f"(reclaimed now): {', '.join(leaked)}",
+            pytrace=False,
+        )
 
 
 def build_rc_ladder(n: int = 10, with_pulse: bool = True) -> Netlist:

@@ -1,0 +1,3 @@
+"""Violating fixture: the file does not parse."""
+def broken(:  # expect: RPL000
+    pass

@@ -1,0 +1,5 @@
+"""Clean fixture: a trivially parseable module."""
+
+
+def fine() -> int:
+    return 1

@@ -1,0 +1,17 @@
+"""Violating fixture: wall-clock entropy in library code."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # expect: RPL001
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # expect: RPL001
+
+
+def nonce() -> bytes:
+    return os.urandom(8)  # expect: RPL001

@@ -1,0 +1,9 @@
+"""Violating fixture: unseeded RNG and hidden-global samplers."""
+
+import numpy as np
+
+
+def draw(n: int):
+    rng = np.random.default_rng()  # expect: RPL002
+    noise = np.random.uniform(size=n)  # expect: RPL002
+    return rng.random(n) + noise

@@ -1,0 +1,8 @@
+"""Clean fixture: every draw comes from an explicitly seeded generator."""
+
+import numpy as np
+
+
+def draw(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.random(n) + rng.uniform(size=n)

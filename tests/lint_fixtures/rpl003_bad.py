@@ -1,0 +1,10 @@
+"""Violating fixture: seeding the process-wide global RNGs."""
+
+import random
+
+import numpy as np
+
+
+def pin(seed: int) -> None:
+    np.random.seed(seed)  # expect: RPL003
+    random.seed(seed)  # expect: RPL003

@@ -1,0 +1,9 @@
+"""Clean fixture: local generator objects, no global state."""
+
+import random
+
+import numpy as np
+
+
+def generators(seed: int):
+    return np.random.default_rng(seed), random.Random(seed)

@@ -1,0 +1,13 @@
+"""Violating fixture: float accumulation over unordered set iteration."""
+
+
+def total(values) -> float:
+    acc = 0.0
+    group = set(values)
+    for v in group:  # expect: RPL004
+        acc += v
+    return acc
+
+
+def reduce_literal() -> float:
+    return sum({1.0, 2.0, 3.0})  # expect: RPL004

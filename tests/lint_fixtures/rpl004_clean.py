@@ -1,0 +1,13 @@
+"""Clean fixture: set members are sorted before any float reduction."""
+
+
+def total(values) -> float:
+    acc = 0.0
+    group = set(values)
+    for v in sorted(group):
+        acc += v
+    return acc
+
+
+def reduce_literal() -> float:
+    return sum(sorted({1.0, 2.0, 3.0}))

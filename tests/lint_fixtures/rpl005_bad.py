@@ -1,0 +1,9 @@
+"""Violating fixture: exact float equality in library logic."""
+
+
+def is_unit(x: float) -> bool:
+    return x == 1.0  # expect: RPL005
+
+
+def changed(a: float, b: float) -> bool:
+    return float(a) != float(b)  # expect: RPL005

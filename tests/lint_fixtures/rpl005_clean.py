@@ -1,0 +1,10 @@
+"""Clean fixture: tolerance-based comparison, plus one *documented*
+exact sentinel carrying a suppression with a written justification."""
+
+
+def is_unit(x: float, tol: float = 1e-12) -> bool:
+    return abs(x - 1.0) < tol
+
+
+def breakdown(beta: float) -> bool:
+    return beta == 0.0  # repro: allow[RPL005] exact Krylov-breakdown sentinel (fixture)

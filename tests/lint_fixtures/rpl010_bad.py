@@ -1,0 +1,7 @@
+"""Violating fixture: allocates a /dev/shm prefix, never sweeps it."""
+
+from repro.dist.shm import new_segment_prefix
+
+
+def allocate(run_id: str) -> str:
+    return new_segment_prefix(run_id)  # expect: RPL010

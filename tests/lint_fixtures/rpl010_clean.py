@@ -1,0 +1,11 @@
+"""Clean fixture: the allocated prefix is reclaimed in a finally."""
+
+from repro.dist.shm import cleanup_segments, new_segment_prefix
+
+
+def run(run_id: str, body) -> None:
+    prefix = new_segment_prefix(run_id)
+    try:
+        body(prefix)
+    finally:
+        cleanup_segments(prefix)

@@ -1,0 +1,19 @@
+"""Violating fixture: pool initializer capturing live parent state."""
+
+import multiprocessing as mp
+import threading
+
+_LOCK = threading.Lock()
+
+
+def _init(lock, system):
+    lock.acquire()
+
+
+def start(system):
+    ctx = mp.get_context("fork")
+    return ctx.Pool(
+        2,
+        initializer=_init,
+        initargs=(_LOCK, system),  # expect: RPL011
+    )

@@ -1,0 +1,16 @@
+"""Clean fixture: initargs ship plain data; workers rebuild state."""
+
+import multiprocessing as mp
+
+
+def _init(system, options, prefix):
+    pass
+
+
+def start(system, options, prefix):
+    ctx = mp.get_context("fork")
+    return ctx.Pool(
+        2,
+        initializer=_init,
+        initargs=(system, options, prefix),
+    )

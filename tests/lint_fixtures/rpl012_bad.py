@@ -1,0 +1,17 @@
+"""Violating fixture: a signal handler taking a lock and logging."""
+
+import logging
+import signal
+import threading
+
+_LOCK = threading.Lock()
+
+
+def _handler(signum, frame):
+    _LOCK.acquire()  # expect: RPL012
+    logging.error("interrupted by %d", signum)  # expect: RPL012
+    raise SystemExit(128 + signum)
+
+
+def install():
+    signal.signal(signal.SIGTERM, _handler)

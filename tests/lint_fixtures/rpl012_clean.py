@@ -1,0 +1,17 @@
+"""Clean fixture: the handler only sweeps files, sets a flag, re-raises."""
+
+import signal
+
+from repro.dist.shm import sweep_run_segments
+
+_INTERRUPTED = []
+
+
+def _handler(signum, frame):
+    sweep_run_segments()
+    _INTERRUPTED.append(signum)
+    raise SystemExit(128 + signum)
+
+
+def install():
+    signal.signal(signal.SIGTERM, _handler)

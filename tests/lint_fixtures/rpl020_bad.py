@@ -1,0 +1,13 @@
+"""Violating pickle fixture: a public message dataclass declaring live
+concurrency state (probed by ``check_modules``, not parsed as an AST)."""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+
+@dataclasses.dataclass
+class BadHandle:
+    name: str
+    worker: threading.Thread

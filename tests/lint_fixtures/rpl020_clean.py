@@ -1,0 +1,12 @@
+"""Clean pickle fixture: plain-data fields only."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class GoodHandle:
+    name: str
+    weight: float = 1.0
+    tags: tuple = ()

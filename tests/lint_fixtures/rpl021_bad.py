@@ -1,0 +1,15 @@
+"""Violating pickle fixture: the declared types look harmless (so
+RPL020 passes) but the default value is a lambda — the probe instance
+fails the pickle round-trip (RPL021)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class BadPayload:
+    name: str
+    transform: object = dataclasses.field(
+        default_factory=lambda: (lambda x: x)
+    )

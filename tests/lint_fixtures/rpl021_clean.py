@@ -1,0 +1,12 @@
+"""Clean pickle fixture: the probe instance round-trips losslessly."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class GoodPayload:
+    name: str
+    scale: float = 2.0
+    offsets: tuple = (1, 2, 3)

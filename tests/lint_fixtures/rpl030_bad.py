@@ -1,0 +1,17 @@
+"""Violating fixture: blocking calls directly inside coroutines."""
+
+import subprocess
+import time
+
+
+async def worker(executor, job):
+    time.sleep(0.1)  # expect: RPL030
+    return executor.run(job)  # expect: RPL030
+
+
+async def shell(cmd):
+    return subprocess.run(cmd, check=True)  # expect: RPL030
+
+
+async def read(sock, n):
+    return sock.recv(n)  # expect: RPL030

@@ -1,0 +1,12 @@
+"""Clean fixture: the loop only awaits; job bodies run in a thread."""
+
+import asyncio
+
+
+async def worker(executor, job):
+    await asyncio.sleep(0.1)
+    return await asyncio.to_thread(executor.run, job)
+
+
+async def read(reader, n):
+    return await reader.read(n)

@@ -1,0 +1,12 @@
+"""Violating fixture: malformed suppression attempts.
+
+A standalone ``# expect:`` marker targets the next line, mirroring the
+suppression syntax — the missing-reason case below cannot carry a
+trailing marker because the marker text would *become* the reason.
+"""
+
+x = 1  # repro: allow RPL005 forgot the brackets  # expect: RPL090
+y = 2  # repro: allow[] empty code list  # expect: RPL090
+# expect: RPL090
+z = 3  # repro: allow[RPL005]
+w = 4  # repro: allow[not a code] some reason  # expect: RPL090

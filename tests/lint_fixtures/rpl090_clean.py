@@ -1,0 +1,7 @@
+"""Clean fixture: one well-formed suppression that is actually used."""
+
+import numpy as np
+
+
+def pin(seed: int) -> None:
+    np.random.seed(seed)  # repro: allow[RPL003] fixture: a used, well-formed suppression

@@ -1,0 +1,4 @@
+"""Violating fixture: suppressions naming unknown/non-suppressible codes."""
+
+x = 1  # repro: allow[RPL999] no such rule is registered  # expect: RPL091
+y = 2  # repro: allow[RPL000] engine meta codes are not suppressible  # expect: RPL091

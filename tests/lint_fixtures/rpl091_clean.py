@@ -1,0 +1,7 @@
+"""Clean fixture: the suppression names a registered, suppressible code."""
+
+import random
+
+
+def pin(seed: int) -> None:
+    random.seed(seed)  # repro: allow[RPL003] fixture: known code, used suppression

@@ -1,0 +1,3 @@
+"""Violating fixture: a stale suppression with nothing left to suppress."""
+
+x = 1  # repro: allow[RPL003] the seed call this guarded was removed  # expect: RPL092

@@ -1,0 +1,7 @@
+"""Clean fixture: the suppression still matches a live finding."""
+
+import random
+
+
+def pin(seed: int) -> None:
+    random.seed(seed)  # repro: allow[RPL003] fixture: suppression still in use

@@ -60,7 +60,7 @@ class TestFig5:
         by_h = {}
         for p in points:
             by_h.setdefault(p.h, {})[p.m] = p.error
-        for h, d in by_h.items():
+        for d in by_h.values():
             ms = sorted(d)
             assert d[ms[-1]] <= d[ms[0]]
 

@@ -1,0 +1,155 @@
+"""Framework-level tests: registry integrity, file discovery, CLI exit
+codes and formats, the ``repro lint`` subcommand, the ``python -m
+repro.analysis`` entry point — and the self-enforcement gate that lints
+this repository's own ``src`` and ``tests`` trees."""
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import all_rules, get_rule, known_codes, lint_paths
+from repro.analysis.lint.cli import main as lint_main
+from repro.analysis.lint.core import (
+    LintError,
+    is_test_file,
+    iter_python_files,
+)
+from repro.cli import main as repro_main
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_is_ordered_and_documented():
+    rules = all_rules()
+    codes = [r.code for r in rules]
+    assert codes == sorted(codes)
+    assert len(codes) == len(set(codes))
+    for rule in rules:
+        assert re.fullmatch(r"RPL\d{3}", rule.code)
+        assert rule.name and rule.summary and rule.invariant
+        assert rule.established.startswith("PR ")
+
+
+def test_get_rule_unknown_code_raises():
+    with pytest.raises(LintError):
+        get_rule("RPL999")
+
+
+def test_known_codes_cover_all_families():
+    codes = known_codes()
+    for family in ("RPL001", "RPL010", "RPL020", "RPL030", "RPL090"):
+        assert family in codes
+
+
+# -- discovery ---------------------------------------------------------------
+
+
+def test_fixture_directory_is_excluded_from_walks():
+    files = iter_python_files([str(REPO / "tests")])
+    assert files, "tests/ walk found nothing"
+    assert not [f for f in files if "lint_fixtures" in f.parts]
+
+
+def test_explicit_fixture_file_is_always_linted():
+    files = iter_python_files([str(FIXTURES / "rpl003_bad.py")])
+    assert len(files) == 1
+
+
+def test_missing_path_is_a_usage_error():
+    with pytest.raises(LintError):
+        lint_paths([str(REPO / "no_such_tree")])
+
+
+def test_is_test_file():
+    assert is_test_file("tests/test_lint_framework.py")
+    assert is_test_file("anywhere/test_probe.py")
+    assert not is_test_file("src/repro/linalg/krylov.py")
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    path = tmp_path / "ok.py"
+    path.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(path), "--no-dynamic"]) == 0
+    assert "clean: 1 file(s), 0 findings" in capsys.readouterr().out
+
+
+def test_cli_findings_exit_one_with_location(capsys):
+    bad = FIXTURES / "rpl003_bad.py"
+    code = lint_main([str(bad), "--select", "RPL003", "--no-dynamic"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert f"{bad}:9:5: RPL003" in out
+
+
+def test_cli_json_format(capsys):
+    bad = FIXTURES / "rpl003_bad.py"
+    code = lint_main(
+        [str(bad), "--format", "json", "--select", "RPL003", "--no-dynamic"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["count"] == 2 == len(payload["findings"])
+    assert payload["findings"][0]["code"] == "RPL003"
+
+
+def test_cli_usage_errors_exit_two(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "missing")]) == 2
+    ok = tmp_path / "ok.py"
+    ok.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(ok), "--select", "BOGUS"]) == 2
+    assert "repro lint: error" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.code in out
+
+
+def test_repro_cli_lint_subcommand(tmp_path, capsys):
+    path = tmp_path / "ok.py"
+    path.write_text("x = 1\n", encoding="utf-8")
+    assert repro_main(["lint", str(path), "--no-dynamic"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_python_dash_m_entry_point(tmp_path):
+    path = tmp_path / "ok.py"
+    path.write_text("x = 1\n", encoding="utf-8")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")] + env.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis",
+         str(path), "--no-dynamic", "--format", "json"],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout)["count"] == 0
+
+
+# -- self-enforcement --------------------------------------------------------
+
+
+def test_repository_src_and_tests_are_lint_clean():
+    result = lint_paths([str(REPO / "src"), str(REPO / "tests")])
+    assert result.files > 100
+    pretty = "\n".join(
+        f"{f.path}:{f.line}: {f.code} {f.message}" for f in result.findings
+    )
+    assert result.clean, f"repo tree is not lint-clean:\n{pretty}"

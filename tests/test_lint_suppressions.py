@@ -1,0 +1,143 @@
+"""Suppression-comment semantics: parsing, malformed attempts, unknown
+codes, staleness, and the select-subset staleness guard."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import lint_paths, parse_suppressions
+from repro.analysis.lint.core import LintError
+
+
+def parse(source):
+    return parse_suppressions(textwrap.dedent(source))
+
+
+# -- parsing -----------------------------------------------------------------
+
+
+def test_trailing_comment_targets_its_own_line():
+    supps, problems = parse("x = 1\ny = 2  # repro: allow[RPL003] why\n")
+    assert problems == []
+    (supp,) = supps
+    assert supp.codes == ("RPL003",)
+    assert supp.reason == "why"
+    assert supp.comment_line == 2
+    assert supp.target_line == 2
+
+
+def test_standalone_comment_targets_next_line():
+    supps, _ = parse(
+        """\
+        # repro: allow[RPL003] seeding is the point of this helper
+        seed_all()
+        """
+    )
+    (supp,) = supps
+    assert supp.comment_line == 1
+    assert supp.target_line == 2
+
+
+def test_multiple_codes_parse_with_whitespace():
+    supps, problems = parse("x = 1  # repro: allow[RPL001, RPL005] both\n")
+    assert problems == []
+    assert supps[0].codes == ("RPL001", "RPL005")
+
+
+def test_docstring_mention_is_not_a_suppression():
+    supps, problems = parse(
+        '''\
+        def f():
+            """Silence with '# repro: allow[RPL005] reason'."""
+            return 1
+        '''
+    )
+    assert supps == [] and problems == []
+
+
+@pytest.mark.parametrize(
+    "line,fragment",
+    [
+        ("x = 1  # repro: allow RPL005 forgot brackets", "malformed"),
+        ("x = 1  # repro: allow[] nothing named", "no rule codes"),
+        ("x = 1  # repro: allow[five] reason", "does not parse"),
+        ("x = 1  # repro: allow[RPL005]", "no justification"),
+    ],
+)
+def test_malformed_attempts_are_reported(line, fragment):
+    supps, problems = parse(line + "\n")
+    assert supps == []
+    (problem,) = problems
+    assert problem.line == 1
+    assert fragment in problem.message
+
+
+def test_unparseable_source_yields_nothing():
+    assert parse("def broken(:\n") == ([], [])
+
+
+# -- engine integration ------------------------------------------------------
+
+
+def lint_source(tmp_path, source, **kwargs):
+    path = tmp_path / "sample.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([str(path)], dynamic=False, **kwargs)
+
+
+def test_valid_suppression_silences_the_finding(tmp_path):
+    result = lint_source(
+        tmp_path,
+        """\
+        import numpy as np
+
+        np.random.seed(0)  # repro: allow[RPL003] demo fixture
+        """,
+    )
+    assert result.clean
+
+
+def test_unsuppressed_finding_survives(tmp_path):
+    result = lint_source(tmp_path, "import numpy as np\nnp.random.seed(0)\n")
+    assert [f.code for f in result.findings] == ["RPL003"]
+
+
+def test_unknown_code_in_allow_is_rpl091(tmp_path):
+    result = lint_source(tmp_path, "x = 1  # repro: allow[RPL999] nope\n")
+    assert [f.code for f in result.findings] == ["RPL091"]
+
+
+def test_meta_code_in_allow_is_rpl091(tmp_path):
+    result = lint_source(tmp_path, "x = 1  # repro: allow[RPL092] nope\n")
+    assert [f.code for f in result.findings] == ["RPL091"]
+    assert "not suppressible" in result.findings[0].message
+
+
+def test_stale_suppression_is_rpl092(tmp_path):
+    result = lint_source(
+        tmp_path, "x = 1  # repro: allow[RPL003] nothing here anymore\n"
+    )
+    (finding,) = result.findings
+    assert finding.code == "RPL092"
+    assert "nothing here anymore" in finding.message
+
+
+def test_malformed_attempt_is_rpl090(tmp_path):
+    result = lint_source(tmp_path, "x = 1  # repro: allow RPL003 oops\n")
+    assert [f.code for f in result.findings] == ["RPL090"]
+
+
+def test_select_subset_does_not_flag_skipped_rules_suppressions(tmp_path):
+    # The RPL003 suppression *is* stale, but RPL003 was not checked in
+    # this invocation — staleness must not be reported.
+    result = lint_source(
+        tmp_path,
+        "x = 1  # repro: allow[RPL003] guarded rule not selected\n",
+        select=["RPL001", "RPL092"],
+    )
+    assert result.clean
+
+
+def test_select_unknown_code_is_a_usage_error(tmp_path):
+    with pytest.raises(LintError):
+        lint_source(tmp_path, "x = 1\n", select=["RPL999"])

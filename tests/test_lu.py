@@ -28,7 +28,7 @@ class TestSolve:
 
     def test_counter_increments(self, spd_matrix, rng):
         lu = SparseLU(spd_matrix)
-        for k in range(3):
+        for _ in range(3):
             lu.solve(rng.normal(size=12))
         assert lu.n_solves == 3
         lu.solve_many(rng.normal(size=(12, 5)))

@@ -127,7 +127,7 @@ class TestCompile:
         assert len(compiled.schedules) == compiled.n_nodes
         assert compiled.global_points[0] == 0.0
         assert compiled.global_points[-1] == pytest.approx(T_END)
-        for g, sched in zip(compiled.groups, compiled.schedules):
+        for _g, sched in zip(compiled.groups, compiled.schedules):
             assert sched.points == compiled.global_points
             assert sched.is_lts[0]
         assert compiled.x_dc.shape == (mesh_system.dim,)

@@ -20,6 +20,7 @@ from repro.linalg.triangular import (
     DEFAULT_KERNEL_MODE,
     ENV_KERNEL_MODE,
     KERNEL_MODES,
+    TriangularExportError,
     TriangularFactors,
     TriangularHolder,
     kernel_mode,
@@ -126,7 +127,7 @@ class TestExport:
     def test_non_float64_matrix_rejected(self, pencil):
         lu = SparseLU(pencil)
         complex_matrix = pencil.astype(np.complex128)
-        with pytest.raises(Exception, match="dtype"):
+        with pytest.raises(TriangularExportError, match="dtype"):
             TriangularFactors(lu._lu, complex_matrix)
 
 
